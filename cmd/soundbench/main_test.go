@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"fig1", "fig4", "table5", "table6", "ablation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig1", "-quick"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "=== fig1") || !strings.Contains(out.String(), "SOUND") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig99"}, &out, &errb); code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+}

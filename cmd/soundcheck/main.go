@@ -1,0 +1,197 @@
+// Command soundcheck evaluates a sanity constraint over one or two CSV
+// data series from the command line, with SOUND's quality-aware
+// evaluation or the naive baseline.
+//
+// CSV layout: t,v[,sig_up[,sig_down]] with an optional header row.
+//
+// Examples:
+//
+//	soundcheck -constraint range -min 0 -max 100 series.csv
+//	soundcheck -constraint monotonic -window count:10 work.csv
+//	soundcheck -constraint corr -threshold 0.2 -window time:30 a.csv b.csv
+//	soundcheck -constraint range -min 0 -max 1 -naive normalized.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sound"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; exit code 0 = no violations, 2 = violations
+// found, 1 = usage or input error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("soundcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		constraint = fs.String("constraint", "range", "constraint template: range, gt, nonneg, fraction, monotonic, maxdelta, stdnonzero, corr, nocorr, r2, ks, count")
+		minV       = fs.Float64("min", 0, "lower bound (range, fraction)")
+		maxV       = fs.Float64("max", 1, "upper bound (range, fraction)")
+		threshold  = fs.Float64("threshold", 0.2, "threshold (gt, fraction, maxdelta, corr, nocorr, r2, ks)")
+		window     = fs.String("window", "point", "windowing: point, global, session:<gap>, time:<size>[:<slide>], count:<size>[:<slide>]")
+		cred       = fs.Float64("c", 0.95, "credibility level c")
+		maxSamples = fs.Int("n", 100, "maximum sample size N")
+		seed       = fs.Uint64("seed", 1, "deterministic seed")
+		naive      = fs.Bool("naive", false, "use the naive (quality-ignorant) evaluation")
+		verbose    = fs.Bool("v", false, "print every window outcome, not just the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	c, arity, err := buildConstraint(*constraint, *minV, *maxV, *threshold)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if fs.NArg() != arity {
+		return fail(stderr, fmt.Errorf("constraint %q needs %d series file(s), got %d", *constraint, arity, fs.NArg()))
+	}
+	var ss []sound.Series
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		s, err := sound.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return fail(stderr, fmt.Errorf("%s: %w", path, err))
+		}
+		ss = append(ss, s)
+	}
+
+	win, err := buildWindow(*window)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	check := sound.Check{Name: *constraint, Constraint: c, SeriesNames: fs.Args(), Window: win}
+
+	counts := map[sound.Outcome]int{}
+	if *naive {
+		tuples := win.Windows(ss)
+		for _, tuple := range tuples {
+			o := sound.EvaluateNaive(c, tuple)
+			counts[o]++
+			if *verbose {
+				fmt.Fprintf(stdout, "window %d [%g, %g): %v\n", tuple.Index, tuple.Start, tuple.End, o)
+			}
+		}
+	} else {
+		eval, err := sound.NewEvaluator(sound.Params{Credibility: *cred, MaxSamples: *maxSamples}, *seed)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		results, err := check.Run(eval, ss)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		for _, r := range results {
+			counts[r.Outcome]++
+			if *verbose {
+				fmt.Fprintf(stdout, "window %d [%g, %g): %v  P(viol)=%.3f  samples=%d\n",
+					r.Window.Index, r.Window.Start, r.Window.End, r.Outcome, r.ViolationProb, r.Samples)
+			}
+		}
+	}
+	total := counts[sound.Satisfied] + counts[sound.Violated] + counts[sound.Inconclusive]
+	fmt.Fprintf(stdout, "%s: %d windows — ⊤ %d, ⊥ %d, ⊣ %d\n",
+		check.Name, total, counts[sound.Satisfied], counts[sound.Violated], counts[sound.Inconclusive])
+	if counts[sound.Violated] > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "soundcheck:", err)
+	return 1
+}
+
+func buildConstraint(name string, min, max, threshold float64) (sound.Constraint, int, error) {
+	switch name {
+	case "range":
+		return sound.Range(min, max), 1, nil
+	case "gt":
+		return sound.GreaterThan(threshold), 1, nil
+	case "nonneg":
+		return sound.NonNegative(), 1, nil
+	case "fraction":
+		return sound.FractionInRange(min, max, threshold), 1, nil
+	case "monotonic":
+		return sound.MonotonicIncrease(false), 1, nil
+	case "maxdelta":
+		return sound.MaxDelta(threshold), 1, nil
+	case "stdnonzero":
+		return sound.StdNonZero(), 1, nil
+	case "corr":
+		return sound.CorrelationAbove(threshold), 2, nil
+	case "nocorr":
+		return sound.CorrelationBelow(threshold), 2, nil
+	case "r2":
+		return sound.RSquaredAbove(threshold), 2, nil
+	case "ks":
+		return sound.KSDistanceBelow(threshold), 2, nil
+	case "count":
+		return sound.CountAtLeast(), 2, nil
+	}
+	return sound.Constraint{}, 0, fmt.Errorf("unknown constraint %q", name)
+}
+
+func buildWindow(spec string) (sound.Windower, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "point":
+		return sound.PointWindow{}, nil
+	case "global":
+		return sound.GlobalWindow{}, nil
+	case "session":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("session window needs a gap: session:<gap>")
+		}
+		gap, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		return sound.SessionWindow{Gap: gap}, nil
+	case "time":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("time window needs a size: time:<size>[:<slide>]")
+		}
+		size, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		w := sound.TimeWindow{Size: size}
+		if len(parts) > 2 {
+			if w.Slide, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, err
+			}
+		}
+		return w, nil
+	case "count":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("count window needs a size: count:<size>[:<slide>]")
+		}
+		size, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		w := sound.CountWindow{Size: size}
+		if len(parts) > 2 {
+			if w.Slide, err = strconv.Atoi(parts[2]); err != nil {
+				return nil, err
+			}
+		}
+		return w, nil
+	}
+	return nil, fmt.Errorf("unknown window spec %q", spec)
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRangeCheckClean(t *testing.T) {
+	path := writeCSV(t, "s.csv", "t,v\n1,5\n2,6\n3,7\n")
+	code, out, _ := runTool(t, "-constraint", "range", "-min", "0", "-max", "10", path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "⊤ 3") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRangeCheckViolationExitCode(t *testing.T) {
+	path := writeCSV(t, "s.csv", "t,v\n1,5\n2,600\n")
+	code, out, _ := runTool(t, "-constraint", "range", "-min", "0", "-max", "10", path)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(out, "⊥ 1") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestVerboseOutput(t *testing.T) {
+	path := writeCSV(t, "s.csv", "t,v\n1,5\n")
+	_, out, _ := runTool(t, "-constraint", "range", "-min", "0", "-max", "10", "-v", path)
+	if !strings.Contains(out, "window 0") || !strings.Contains(out, "P(viol)") {
+		t.Errorf("verbose output = %q", out)
+	}
+}
+
+func TestNaiveMode(t *testing.T) {
+	path := writeCSV(t, "s.csv", "t,v,sig_up,sig_down\n1,10.2,0.1,5\n")
+	code, out, _ := runTool(t, "-constraint", "range", "-min", "0", "-max", "10", "-naive", path)
+	if code != 2 {
+		t.Fatalf("naive exit = %d", code)
+	}
+	if !strings.Contains(out, "⊥ 1") {
+		t.Errorf("naive output = %q", out)
+	}
+}
+
+func TestBinaryConstraint(t *testing.T) {
+	a := writeCSV(t, "a.csv", "t,v\n1,1\n2,2\n3,3\n4,4\n5,5\n6,6\n")
+	b := writeCSV(t, "b.csv", "t,v\n1,2\n2,4\n3,6\n4,8\n5,10\n6,12\n")
+	code, out, _ := runTool(t, "-constraint", "corr", "-threshold", "0.2", "-window", "global", a, b)
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, out)
+	}
+	if !strings.Contains(out, "⊤ 1") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSessionWindowSpec(t *testing.T) {
+	path := writeCSV(t, "s.csv", "t,v\n1,5\n2,5\n50,5\n51,5\n")
+	code, out, _ := runTool(t, "-constraint", "maxdelta", "-threshold", "10", "-window", "session:10", path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "2 windows") {
+		t.Errorf("session windows not applied: %q", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	path := writeCSV(t, "s.csv", "t,v\n1,5\n")
+	cases := [][]string{
+		{"-constraint", "bogus", path},
+		{"-constraint", "corr", path},            // arity mismatch
+		{"-window", "time", path},                // missing size
+		{"-window", "martian:3", path},           // unknown window
+		{"-constraint", "range", "/nonexistent"}, // unreadable file
+		{"-c", "7", path},                        // invalid credibility
+	}
+	for _, args := range cases {
+		code, _, errOut := runTool(t, args...)
+		if code != 1 {
+			t.Errorf("args %v: exit = %d, want 1 (stderr %q)", args, code, errOut)
+		}
+		if errOut == "" {
+			t.Errorf("args %v: no error message", args)
+		}
+	}
+}
+
+func TestGarbageCSVRejected(t *testing.T) {
+	path := writeCSV(t, "s.csv", "t,v\n1,notanumber\n")
+	code, _, errOut := runTool(t, "-constraint", "range", path)
+	if code != 1 || !strings.Contains(errOut, "soundcheck") {
+		t.Errorf("exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+func TestBuildWindowVariants(t *testing.T) {
+	for spec, want := range map[string]string{
+		"point":      "point",
+		"global":     "global",
+		"time:5":     "time(size=5)",
+		"time:6:2":   "time(size=6, slide=2)",
+		"count:4":    "count(size=4)",
+		"count:4:1":  "count(size=4, slide=1)",
+		"session:10": "session(gap=10)",
+	} {
+		w, err := buildWindow(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if w.String() != want {
+			t.Errorf("%s: String() = %q, want %q", spec, w.String(), want)
+		}
+	}
+	for _, bad := range []string{"time:x", "count:x", "session:x", "count:3:y", "time:3:y"} {
+		if _, err := buildWindow(bad); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+}
+
+func TestBuildConstraintCoverage(t *testing.T) {
+	names := []string{"range", "gt", "nonneg", "fraction", "monotonic", "maxdelta",
+		"stdnonzero", "corr", "nocorr", "r2", "ks", "count"}
+	for _, name := range names {
+		c, arity, err := buildConstraint(name, 0, 1, 0.5)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if arity != c.Arity {
+			t.Errorf("%s: reported arity %d, constraint arity %d", name, arity, c.Arity)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command sounddata generates the synthetic datasets of the two
+// evaluation scenarios as CSV files (t,v,sig_up,sig_down), one file per
+// pipeline series, so that external tools — or soundcheck — can work on
+// the same data the experiments use.
+//
+// Usage:
+//
+//	sounddata -scenario smartgrid -out data/sg
+//	sounddata -scenario astro -out data/astro -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sound/internal/astro"
+	"sound/internal/pipeline"
+	"sound/internal/series"
+	"sound/internal/smartgrid"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sounddata", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenario = fs.String("scenario", "smartgrid", "workload to generate: smartgrid or astro")
+		out      = fs.String("out", ".", "output directory (created if missing)")
+		seed     = fs.Uint64("seed", 1, "deterministic seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	var p *pipeline.Pipeline
+	switch *scenario {
+	case "smartgrid":
+		p = smartgrid.Generate(smartgrid.DefaultConfig(), *seed).Pipeline
+	case "astro":
+		p = astro.Generate(astro.DefaultConfig(), *seed).Pipeline
+	default:
+		fmt.Fprintf(stderr, "sounddata: unknown scenario %q\n", *scenario)
+		return 1
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(stderr, "sounddata:", err)
+		return 1
+	}
+	for _, name := range p.Names() {
+		s, _ := p.Series(name)
+		path := filepath.Join(*out, name+".csv")
+		if err := writeSeries(path, s); err != nil {
+			fmt.Fprintln(stderr, "sounddata:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: %d points\n", path, len(s))
+	}
+	return 0
+}
+
+func writeSeries(path string, s series.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := series.WriteCSV(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

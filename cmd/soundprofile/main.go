@@ -1,0 +1,116 @@
+// Command soundprofile suggests sanity constraints from trusted CSV data
+// series (t,v[,sig_up[,sig_down]]), the constraint-definition assist the
+// paper motivates in §II. Each suggestion prints the equivalent
+// soundcheck invocation so accepting one is a copy-paste.
+//
+// Usage:
+//
+//	soundprofile load.csv work.csv flux.csv
+//	soundprofile -mincorr 0.5 a.csv b.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sound/internal/core"
+	"sound/internal/profile"
+	"sound/internal/series"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("soundprofile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		minCorr  = fs.Float64("mincorr", 0.7, "minimum |correlation| to suggest a correlation check")
+		margin   = fs.Float64("margin", 1.5, "range margin in multiples of the IQR")
+		tolerate = fs.Float64("monotone-tolerance", 0, "fraction of decreasing steps tolerated for monotonicity")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "soundprofile: no input files")
+		return 1
+	}
+	data := map[string]series.Series{}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "soundprofile:", err)
+			return 1
+		}
+		s, err := series.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "soundprofile: %s: %v\n", path, err)
+			return 1
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		data[name] = s
+	}
+
+	sugs := profile.Suggest(data, profile.Options{
+		RangeMargin:       *margin,
+		MinCorrelation:    *minCorr,
+		MonotoneTolerance: *tolerate,
+	})
+	if len(sugs) == 0 {
+		fmt.Fprintln(stdout, "no suggestions (series too short or structureless)")
+		return 0
+	}
+	for _, sug := range sugs {
+		fmt.Fprintf(stdout, "[%.2f] %s\n       evidence: %s\n       try: %s\n",
+			sug.Score, sug.Check.Name, sug.Evidence, soundcheckInvocation(sug, fs.Args(), data))
+	}
+	return 0
+}
+
+// soundcheckInvocation renders the equivalent soundcheck command line.
+func soundcheckInvocation(sug profile.Suggestion, paths []string, data map[string]series.Series) string {
+	pathOf := func(name string) string {
+		for _, p := range paths {
+			if strings.TrimSuffix(filepath.Base(p), filepath.Ext(p)) == name {
+				return p
+			}
+		}
+		return name + ".csv"
+	}
+	c := sug.Check.Constraint
+	var b strings.Builder
+	b.WriteString("soundcheck ")
+	switch {
+	case strings.HasPrefix(c.Name, "range"):
+		var lo, hi float64
+		fmt.Sscanf(c.Name, "range[%g,%g]", &lo, &hi)
+		fmt.Fprintf(&b, "-constraint range -min %g -max %g", lo, hi)
+	case strings.HasPrefix(c.Name, "monotonic"):
+		b.WriteString("-constraint monotonic")
+	case c.Name == "non-negative":
+		b.WriteString("-constraint nonneg")
+	case strings.HasPrefix(c.Name, "corr>"):
+		var t float64
+		fmt.Sscanf(c.Name, "corr>[%g]", &t)
+		fmt.Fprintf(&b, "-constraint corr -threshold %g", t)
+	default:
+		fmt.Fprintf(&b, "-constraint %s", c.Name)
+	}
+	switch w := sug.Check.Window.(type) {
+	case core.CountWindow:
+		fmt.Fprintf(&b, " -window count:%d", w.Size)
+	case core.TimeWindow:
+		fmt.Fprintf(&b, " -window time:%g", w.Size)
+	}
+	for _, name := range sug.Check.SeriesNames {
+		fmt.Fprintf(&b, " %s", pathOf(name))
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSeries(t *testing.T, dir, name string, gen func(i int) (tt, v float64), n int) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("t,v\n")
+	for i := 0; i < n; i++ {
+		tt, v := gen(i)
+		fmt.Fprintf(&b, "%g,%g\n", tt, v)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestProfileSuggestsAndPrintsInvocations(t *testing.T) {
+	dir := t.TempDir()
+	load := writeSeries(t, dir, "load.csv", func(i int) (float64, float64) {
+		return float64(i), 50 + 10*math.Sin(float64(i)/8)
+	}, 120)
+	counter := writeSeries(t, dir, "counter.csv", func(i int) (float64, float64) {
+		return float64(i), float64(i * i)
+	}, 120)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{load, counter}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"suggested-range(load)",
+		"suggested-monotone(counter)",
+		"try: soundcheck -constraint",
+		"evidence:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// The printed invocation must reference the actual file path.
+	if !strings.Contains(text, "counter.csv") {
+		t.Error("invocation does not reference the input file")
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Errorf("no-input exit = %d", code)
+	}
+	if code := run([]string{"/does/not/exist.csv"}, &out, &errb); code != 1 {
+		t.Errorf("missing-file exit = %d", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("t,v\n1,zap\n"), 0o644)
+	if code := run([]string{bad}, &out, &errb); code != 1 {
+		t.Errorf("garbage-file exit = %d", code)
+	}
+}
+
+func TestProfileNoStructure(t *testing.T) {
+	dir := t.TempDir()
+	tiny := writeSeries(t, dir, "tiny.csv", func(i int) (float64, float64) {
+		return float64(i), float64(i)
+	}, 3)
+	var out, errb bytes.Buffer
+	if code := run([]string{tiny}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "no suggestions") {
+		t.Errorf("output = %q", out.String())
+	}
+}

@@ -1,0 +1,3 @@
+module sound
+
+go 1.22

@@ -1,0 +1,220 @@
+package astro
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sound/internal/core"
+	"sound/internal/series"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sources = 3
+	cfg.DurationDay = 120
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(), 5)
+	b := Generate(smallConfig(), 5)
+	if len(a.Measurements) != len(b.Measurements) {
+		t.Fatalf("counts differ: %d vs %d", len(a.Measurements), len(b.Measurements))
+	}
+	for i := range a.Measurements {
+		if a.Measurements[i] != b.Measurements[i] {
+			t.Fatalf("measurements diverge at %d", i)
+		}
+	}
+}
+
+func TestGenerateDataQualityProperties(t *testing.T) {
+	cfg := smallConfig()
+	ds := Generate(cfg, 6)
+	if len(ds.Measurements) == 0 {
+		t.Fatal("no measurements")
+	}
+	var uls, asym int
+	for _, m := range ds.Measurements {
+		if m.Flux <= 0 {
+			t.Fatalf("non-positive flux %v", m)
+		}
+		if m.SigUp <= 0 || m.SigDown <= 0 {
+			t.Fatalf("non-positive uncertainty %v", m)
+		}
+		if m.UpperLimit {
+			uls++
+			if m.SigDown < m.SigUp {
+				t.Errorf("upper limit with small downward sigma: %v", m)
+			}
+		}
+		if math.Abs(m.SigUp-m.SigDown) > 1e-9 {
+			asym++
+		}
+	}
+	if uls == 0 {
+		t.Error("no upper limits generated")
+	}
+	if asym < len(ds.Measurements)/2 {
+		t.Errorf("only %d of %d measurements have asymmetric uncertainty", asym, len(ds.Measurements))
+	}
+	// Varying cadence: per-source gap spread must be wide.
+	for src := 0; src < cfg.Sources; src++ {
+		lc := ds.SourceLightCurve(src)
+		if len(lc) < 10 {
+			t.Fatalf("source %d has only %d points", src, len(lc))
+		}
+		gaps := lc.Gaps()
+		lo, hi := gaps[0], gaps[0]
+		for _, g := range gaps {
+			if g < lo {
+				lo = g
+			}
+			if g > hi {
+				hi = g
+			}
+		}
+		if hi < 5*lo+1e-9 && hi < 2 {
+			t.Errorf("source %d cadence too regular: gaps in [%v, %v]", src, lo, hi)
+		}
+	}
+}
+
+func TestPipelineDAGStructure(t *testing.T) {
+	ds := Generate(smallConfig(), 7)
+	p := ds.Pipeline
+	for _, name := range []string{SeriesRawFlux, SeriesFiltered, SeriesSmoothed, SeriesDiff, SeriesAnomaly} {
+		if _, ok := p.Series(name); !ok {
+			t.Errorf("missing series %q", name)
+		}
+	}
+	if got := p.Predecessors(SeriesDiff); !reflect.DeepEqual(got, []string{SeriesFiltered, SeriesSmoothed}) {
+		t.Errorf("•diff = %v", got)
+	}
+	if got := p.Sources(); !reflect.DeepEqual(got, []string{SeriesRawFlux}) {
+		t.Errorf("sources = %v", got)
+	}
+	// filtered, smoothed, diff are index-aligned.
+	f := p.MustSeries(SeriesFiltered)
+	s := p.MustSeries(SeriesSmoothed)
+	d := p.MustSeries(SeriesDiff)
+	if len(f) != len(s) || len(f) != len(d) {
+		t.Errorf("lengths: filtered=%d smoothed=%d diff=%d", len(f), len(s), len(d))
+	}
+	for i := range f {
+		if f[i].T != s[i].T {
+			t.Fatalf("alignment broken at %d", i)
+		}
+	}
+}
+
+func TestSmoothReducesVariability(t *testing.T) {
+	ds := Generate(smallConfig(), 8)
+	f := ds.Pipeline.MustSeries(SeriesFiltered)
+	s := ds.Pipeline.MustSeries(SeriesSmoothed)
+	variability := func(x series.Series) float64 {
+		var sum float64
+		for i := 1; i < len(x); i++ {
+			sum += math.Abs(x[i].V - x[i-1].V)
+		}
+		return sum / float64(len(x)-1)
+	}
+	if variability(s) >= variability(f) {
+		t.Errorf("smoothed rougher than raw: %v >= %v", variability(s), variability(f))
+	}
+}
+
+func TestSmoothEmptySeries(t *testing.T) {
+	if got := Smooth(series.Series{}, 10); len(got) != 0 {
+		t.Errorf("smoothing empty series gave %d points", len(got))
+	}
+}
+
+func TestChecksClassification(t *testing.T) {
+	cks := Checks(DefaultConfig())
+	if len(cks) != 4 {
+		t.Fatalf("got %d checks", len(cks))
+	}
+	for _, ck := range cks {
+		if err := ck.Validate(); err != nil {
+			t.Errorf("%s: %v", ck.Name, err)
+		}
+	}
+	if cks[0].Constraint.Granularity != core.PointWise {
+		t.Error("A-1 should be point-wise")
+	}
+	if cks[1].Constraint.Granularity != core.WindowIndex || cks[1].Constraint.Orderedness.Ordered() {
+		t.Error("A-2 should be tuple-windowed set")
+	}
+	if cks[2].Constraint.Arity != 2 || !cks[2].Constraint.Orderedness.Ordered() {
+		t.Error("A-3 should be binary sequence")
+	}
+	if cks[3].Constraint.Arity != 2 || !cks[3].Constraint.Orderedness.Ordered() {
+		t.Error("A-4 should be binary sequence")
+	}
+}
+
+func TestSuiteProducesMixedOutcomes(t *testing.T) {
+	s := Suite(smallConfig(), 9)
+	results, err := s.Run(core.Params{Credibility: 0.95, MaxSamples: 100}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[core.Outcome]int{}
+	for _, ck := range s.Checks {
+		if len(results[ck.Name]) == 0 {
+			t.Errorf("check %s produced no results", ck.Name)
+		}
+		for _, r := range results[ck.Name] {
+			totals[r.Outcome]++
+		}
+	}
+	// The astro scenario has pronounced data-quality issues: we expect
+	// all three outcome kinds to appear somewhere.
+	if totals[core.Satisfied] == 0 {
+		t.Error("no satisfied outcomes")
+	}
+	if totals[core.Inconclusive] == 0 {
+		t.Error("no inconclusive outcomes despite heavy data-quality issues")
+	}
+}
+
+func TestStreamAppModes(t *testing.T) {
+	cfg := smallConfig()
+	for _, mode := range []Mode{BaseNom, BaseCheck, Sound} {
+		app := BuildStream(cfg, mode, core.Params{Credibility: 0.95, MaxSamples: 20}, 2, 4000, 3)
+		m, err := app.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		vol := m.Count(app.SinkName)
+		if vol == 0 {
+			t.Fatalf("%v: no events at volume sink", mode)
+		}
+		// Filter drops upper limits, so volume < events but most remain.
+		if vol >= 4000 || vol < 2000 {
+			t.Errorf("%v: volume sink saw %d of 4000", mode, vol)
+		}
+		if mode != BaseNom {
+			for _, name := range []string{"A-1", "A-2", "A-3", "A-4"} {
+				if out := app.Outcomes[name]; out == nil || out.Counts().Total() == 0 {
+					t.Errorf("%v: %s evaluated no windows", mode, name)
+				}
+			}
+		}
+	}
+}
+
+func TestMeasurementString(t *testing.T) {
+	m := Measurement{Source: 2, T: 1.5, Flux: 0.5, SigUp: 0.1, SigDown: 0.2, UpperLimit: true}
+	if s := m.String(); s == "" || s[len(s)-2:] != "UL" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if BaseNom.String() != "BASE_NOM" || Sound.String() != "SOUND" || BaseCheck.String() != "BASE_CHECK" {
+		t.Error("bad mode strings")
+	}
+}

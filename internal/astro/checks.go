@@ -1,0 +1,59 @@
+package astro
+
+import (
+	"sound/internal/checker"
+	"sound/internal/core"
+)
+
+// Checks returns the sanity checks A-1..A-4 of Table IV bound to the
+// pipeline series of the astrophysics scenario.
+//
+//	A-1  flux in plausible range       unary  point-wise        a <= x <= b
+//	A-2  input pipeline did not freeze unary  windowed (tuples) std(x) != 0
+//	A-3  lower delta on average        binary windowed (time)   mean step of x below y
+//	A-4  has correlation               binary windowed (time)   corr(x, y) > 0.2
+func Checks(cfg Config) []core.Check {
+	return []core.Check{
+		{
+			// The plausible range brackets the population of quiescent
+			// fluxes tightly enough that low-significance points sit
+			// within ~1σ of the lower bound and flares cross the upper
+			// bound — the regime where quality-aware evaluation and the
+			// naive approach diverge (paper Table V).
+			// A-1 binds to the raw flux stream, upper limits included
+			// (the paper's check-1 stream carries isUpperLim): upper
+			// limits have downward uncertainties that dwarf their
+			// distance to the lower bound, the regime where only an
+			// inconclusive outcome is honest (Fig. 1, fourth window).
+			Name:        "A-1",
+			Constraint:  core.Range(cfg.BaseFlux*0.4, cfg.BaseFlux*cfg.FlareAmp),
+			SeriesNames: []string{SeriesRawFlux},
+			Window:      core.PointWindow{},
+		},
+		{
+			Name:        "A-2",
+			Constraint:  core.StdNonZero(),
+			SeriesNames: []string{SeriesRawFlux},
+			Window:      core.CountWindow{Size: 10},
+		},
+		{
+			Name:        "A-3",
+			Constraint:  core.LowerMeanDelta(),
+			SeriesNames: []string{SeriesSmoothed, SeriesFiltered},
+			Window:      core.TimeWindow{Size: 20},
+		},
+		{
+			Name:        "A-4",
+			Constraint:  core.CorrelationAbove(0.2),
+			SeriesNames: []string{SeriesFiltered, SeriesSmoothed},
+			Window:      core.TimeWindow{Size: 30},
+		},
+	}
+}
+
+// Suite returns the scenario's checker suite: generated pipeline plus the
+// checks bound to it.
+func Suite(cfg Config, seed uint64) *checker.Suite {
+	ds := Generate(cfg, seed)
+	return &checker.Suite{Pipeline: ds.Pipeline, Checks: Checks(cfg)}
+}

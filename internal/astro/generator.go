@@ -1,0 +1,358 @@
+// Package astro implements the astrophysics scenario (A) of the paper's
+// evaluation (§VI-A): a synthetic substitute for the Fermi gamma-ray
+// telescope light curves of 40+ sources, the anomaly-detection pipeline
+// (filter → smoothed local baseline → short-term anomaly score), and the
+// sanity checks A-1..A-4 of Table IV.
+//
+// The generator synthesizes the data-quality properties the paper's
+// checks exercise, all of which are inherent to gamma-ray light curves:
+//
+//   - asymmetric statistical uncertainties that grow when the flux is
+//     low (Poisson counting statistics),
+//   - strongly varying cadence with observation gaps from pointed
+//     scheduling,
+//   - occasional flares (the anomalies the pipeline detects),
+//   - upper-limit points for non-detections, carrying large downward
+//     uncertainty.
+package astro
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sound/internal/pipeline"
+	"sound/internal/rng"
+	"sound/internal/series"
+)
+
+// Config parameterizes the synthetic gamma-ray workload.
+type Config struct {
+	Sources     int     // number of observed sources
+	DurationDay float64 // observation span in days
+	// MeanCadenceDay is the average spacing of measurements; actual
+	// spacing is exponential (bursty) plus scheduling gaps.
+	MeanCadenceDay float64
+	// GapProb is the per-point probability of entering an observation
+	// gap; GapMeanDay its mean duration.
+	GapProb    float64
+	GapMeanDay float64
+	// BaseFlux sets the typical quiescent flux (arbitrary units ~1e-7
+	// ph/cm²/s rescaled to O(1)).
+	BaseFlux float64
+	// FlareProb is the per-point probability that a flare starts;
+	// flares multiply the flux by FlareAmp with exponential decay.
+	FlareProb float64
+	FlareAmp  float64
+	// RelErrLow/RelErrHigh bound the relative uncertainty: high flux →
+	// RelErrLow, low flux → RelErrHigh.
+	RelErrLow, RelErrHigh float64
+	// UpperLimitProb is the chance a low-flux point is reported as an
+	// upper limit (value inflated, huge downward uncertainty).
+	UpperLimitProb float64
+	// FreezeProb is the per-point probability that the input pipeline
+	// starts repeating the previous reading verbatim (a stale-cache
+	// fault upstream of the telescope data feed); FreezeMeanLen is the
+	// mean number of repeated points. Frozen points keep their reported
+	// uncertainties — the defect is only visible in the raw values,
+	// which is what check A-2 guards.
+	FreezeProb    float64
+	FreezeMeanLen float64
+}
+
+// DefaultConfig mirrors a Fermi-like monitoring setup at laptop scale.
+func DefaultConfig() Config {
+	return Config{
+		Sources:        8,
+		DurationDay:    300,
+		MeanCadenceDay: 1,
+		GapProb:        0.02,
+		GapMeanDay:     15,
+		BaseFlux:       1.0,
+		FlareProb:      0.01,
+		FlareAmp:       6,
+		RelErrLow:      0.08,
+		RelErrHigh:     0.45,
+		UpperLimitProb: 0.5,
+		FreezeProb:     0.03,
+		FreezeMeanLen:  40,
+	}
+}
+
+// Measurement is one raw light-curve point.
+type Measurement struct {
+	Source     int
+	T          float64 // mission-elapsed days
+	Flux       float64
+	SigUp      float64
+	SigDown    float64
+	UpperLimit bool
+	Flaring    bool // generator-side truth
+}
+
+// Dataset is a generated astrophysics workload with the derived pipeline.
+type Dataset struct {
+	Config       Config
+	Measurements []Measurement
+	Pipeline     *pipeline.Pipeline
+}
+
+// Series names in the pipeline DAG (paper Fig. 3, right).
+const (
+	SeriesRawFlux  = "raw_flux"  // all measurements incl. upper limits
+	SeriesFiltered = "filtered"  // quality-filtered flux
+	SeriesSmoothed = "smoothed"  // smoothed local baseline
+	SeriesDiff     = "diff"      // flux minus baseline (anomaly score)
+	SeriesAnomaly  = "anomalies" // points flagged anomalous
+)
+
+// Generate produces the synthetic workload deterministically from seed.
+func Generate(cfg Config, seed uint64) *Dataset {
+	r := rng.New(seed)
+	ds := &Dataset{Config: cfg}
+
+	for src := 0; src < cfg.Sources; src++ {
+		// Per-source quiescent level (log-normal around BaseFlux).
+		quiescent := cfg.BaseFlux * math.Exp(0.4*r.NormFloat64())
+		flare := 0.0 // multiplicative flare excess, decays exponentially
+		t := r.Float64() * cfg.MeanCadenceDay
+		for t < cfg.DurationDay {
+			if r.Bool(cfg.GapProb) {
+				t += r.ExpFloat64() * cfg.GapMeanDay // scheduling gap
+			}
+			if r.Bool(cfg.FlareProb) {
+				flare = cfg.FlareAmp * (0.5 + r.Float64())
+			}
+			flare *= 0.85 // decay per observation
+			trueFlux := quiescent * (1 + flare) * math.Exp(0.15*r.NormFloat64())
+
+			// Relative uncertainty shrinks with flux (counting stats).
+			rel := cfg.RelErrHigh - (cfg.RelErrHigh-cfg.RelErrLow)*
+				sigmoid((trueFlux-quiescent)/quiescent)
+			sigUp := trueFlux * rel * (0.8 + 0.4*r.Float64())
+			sigDown := trueFlux * rel * (0.8 + 0.4*r.Float64())
+			flux := trueFlux + r.NormFloat64()*(sigUp+sigDown)/2
+
+			m := Measurement{
+				Source: src, T: t,
+				Flux:  math.Max(flux, 0.01*quiescent),
+				SigUp: sigUp, SigDown: sigDown,
+				Flaring: flare > 0.5,
+			}
+			// Low-significance points become upper limits: the reported
+			// value is an upper bound with essentially unconstrained
+			// downward range.
+			if flux < quiescent && r.Bool(cfg.UpperLimitProb) {
+				m.UpperLimit = true
+				m.Flux = quiescent * (0.5 + 0.5*r.Float64())
+				m.SigUp = 0.1 * m.Flux
+				// An upper limit leaves the flux essentially
+				// unconstrained below the reported bound; the
+				// limit's significance varies with exposure, so the
+				// downward scale is itself dispersed.
+				m.SigDown = m.Flux * (0.5 + 2*r.Float64())
+			}
+			ds.Measurements = append(ds.Measurements, m)
+			t += r.ExpFloat64() * cfg.MeanCadenceDay
+		}
+	}
+
+	// Merge all sources into the time-ordered feed the pipeline ingests.
+	sort.SliceStable(ds.Measurements, func(i, j int) bool {
+		return ds.Measurements[i].T < ds.Measurements[j].T
+	})
+
+	// Stale-cache fault on the merged feed: the ingestion layer repeats
+	// the last delivered reading verbatim for a stretch of events while
+	// the attached uncertainties stay plausible. This is the defect
+	// check A-2 ("input pipeline did not freeze") guards: invisible to
+	// quality-aware evaluation at the value level (the reported σ still
+	// admits variation) but an exact constant in the raw values.
+	frozen := 0
+	var last *Measurement
+	for i := range ds.Measurements {
+		if frozen == 0 && last != nil && r.Bool(cfg.FreezeProb) {
+			frozen = 1 + int(r.ExpFloat64()*cfg.FreezeMeanLen)
+		}
+		if frozen > 0 {
+			frozen--
+			// The stale cache redelivers the previous reading
+			// verbatim: value, uncertainties, and quality flag.
+			ds.Measurements[i].Flux = last.Flux
+			ds.Measurements[i].SigUp = last.SigUp
+			ds.Measurements[i].SigDown = last.SigDown
+			ds.Measurements[i].UpperLimit = last.UpperLimit
+		}
+		cur := ds.Measurements[i]
+		last = &cur
+	}
+
+	ds.Pipeline = derivePipeline(ds)
+	return ds
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-3*x)) }
+
+// derivePipeline computes the anomaly-detection pipeline series and the
+// provenance DAG of paper Fig. 3 (right). Series from all sources are
+// merged into one time-ordered stream (matching the Flink application),
+// with the source id recoverable from ordering only — the checks operate
+// on the combined stream.
+func derivePipeline(ds *Dataset) *pipeline.Pipeline {
+	p := pipeline.New()
+
+	var raw series.Series
+	for _, m := range ds.Measurements {
+		raw = append(raw, series.Point{T: m.T, V: m.Flux, SigUp: m.SigUp, SigDown: m.SigDown})
+	}
+	raw.Sort()
+	p.AddSeries(SeriesRawFlux, raw)
+
+	// Filter: drop upper limits (quality cut), keep detections. The
+	// source of each retained point is tracked so smoothing can build
+	// each point's baseline from its own source's light curve, matching
+	// the per-source keyed windows of the streaming application.
+	var filtered series.Series
+	var srcOf []int
+	for _, m := range ds.Measurements {
+		if m.UpperLimit {
+			continue
+		}
+		filtered = append(filtered, series.Point{T: m.T, V: m.Flux, SigUp: m.SigUp, SigDown: m.SigDown})
+		srcOf = append(srcOf, m.Source)
+	}
+	p.AddSeries(SeriesFiltered, filtered)
+
+	smoothed := smoothPerSource(filtered, srcOf, 15)
+	p.AddSeries(SeriesSmoothed, smoothed)
+
+	// Diff: anomaly score = flux − local baseline, with combined
+	// uncertainty.
+	diff := make(series.Series, len(filtered))
+	for i := range filtered {
+		diff[i] = series.Point{
+			T:       filtered[i].T,
+			V:       filtered[i].V - smoothed[i].V,
+			SigUp:   filtered[i].SigUp + smoothed[i].SigUp,
+			SigDown: filtered[i].SigDown + smoothed[i].SigDown,
+		}
+	}
+	p.AddSeries(SeriesDiff, diff)
+
+	// Anomalies: diff beyond 3σ of its own spread.
+	var anom series.Series
+	if len(diff) > 0 {
+		var sum, sumSq float64
+		for _, d := range diff {
+			sum += d.V
+			sumSq += d.V * d.V
+		}
+		n := float64(len(diff))
+		std := math.Sqrt(math.Max(sumSq/n-(sum/n)*(sum/n), 0))
+		for _, d := range diff {
+			if math.Abs(d.V) > 3*std {
+				anom = append(anom, d)
+			}
+		}
+	}
+	p.AddSeries(SeriesAnomaly, anom)
+
+	mustConnect(p, SeriesRawFlux, "quality-filter", SeriesFiltered)
+	mustConnect(p, SeriesFiltered, "moving-average", SeriesSmoothed)
+	mustConnect(p, SeriesFiltered, "subtract", SeriesDiff)
+	mustConnect(p, SeriesSmoothed, "subtract", SeriesDiff)
+	mustConnect(p, SeriesDiff, "threshold", SeriesAnomaly)
+	return p
+}
+
+func mustConnect(p *pipeline.Pipeline, from, op, to string) {
+	if err := p.Connect(from, op, to); err != nil {
+		panic(err)
+	}
+}
+
+// smoothPerSource computes, for each point, the local baseline from its
+// own source's sub-series, returning a series index-aligned with s.
+func smoothPerSource(s series.Series, srcOf []int, win float64) series.Series {
+	// Split into per-source sub-series with back-references.
+	subs := map[int]series.Series{}
+	subIdx := make([]int, len(s))
+	for i, p := range s {
+		src := srcOf[i]
+		subIdx[i] = len(subs[src])
+		subs[src] = append(subs[src], p)
+	}
+	smoothedSubs := map[int]series.Series{}
+	for src, sub := range subs {
+		smoothedSubs[src] = Smooth(sub, win)
+	}
+	out := make(series.Series, len(s))
+	for i := range s {
+		out[i] = smoothedSubs[srcOf[i]][subIdx[i]]
+	}
+	return out
+}
+
+// Smooth returns the centered moving average of s over windows of width
+// win (in time units), index-aligned with s: out[i] is the local baseline
+// at s[i]. Uncertainties shrink with the effective sample size.
+func Smooth(s series.Series, win float64) series.Series {
+	out := make(series.Series, len(s))
+	for i, pt := range s {
+		w := s.SliceTimeInclusive(pt.T-win/2, pt.T+win/2)
+		var sum, up, down float64
+		for _, q := range w {
+			sum += q.V
+			up += q.SigUp
+			down += q.SigDown
+		}
+		n := float64(len(w))
+		if n == 0 {
+			out[i] = pt
+			continue
+		}
+		out[i] = series.Point{
+			T:       pt.T,
+			V:       sum / n,
+			SigUp:   up / n / math.Sqrt(n),
+			SigDown: down / n / math.Sqrt(n),
+		}
+	}
+	return out
+}
+
+// FilteredSmoothed returns, for one source, the quality-filtered light
+// curve and its smoothed local baseline, index-aligned. The binary
+// checks A-3/A-4 are keyed per source in the streaming application; this
+// is the offline equivalent for per-source evaluation.
+func (ds *Dataset) FilteredSmoothed(src int, win float64) (filtered, smoothed series.Series) {
+	for _, m := range ds.Measurements {
+		if m.Source != src || m.UpperLimit {
+			continue
+		}
+		filtered = append(filtered, series.Point{T: m.T, V: m.Flux, SigUp: m.SigUp, SigDown: m.SigDown})
+	}
+	filtered.Sort()
+	return filtered, Smooth(filtered, win)
+}
+
+// SourceLightCurve extracts the measurements of one source as a series.
+func (ds *Dataset) SourceLightCurve(src int) series.Series {
+	var s series.Series
+	for _, m := range ds.Measurements {
+		if m.Source == src {
+			s = append(s, series.Point{T: m.T, V: m.Flux, SigUp: m.SigUp, SigDown: m.SigDown})
+		}
+	}
+	s.Sort()
+	return s
+}
+
+// String implements a compact description of a measurement.
+func (m Measurement) String() string {
+	flag := ""
+	if m.UpperLimit {
+		flag = " UL"
+	}
+	return fmt.Sprintf("src%d t=%.2f flux=%.3f +%.3f -%.3f%s", m.Source, m.T, m.Flux, m.SigUp, m.SigDown, flag)
+}

@@ -1,0 +1,278 @@
+package checker
+
+import (
+	"sync/atomic"
+
+	"sound/internal/core"
+	"sound/internal/series"
+	"sound/internal/stream"
+)
+
+// This file provides the online instrumentation: stream-engine operators
+// that evaluate sanity checks in parallel to the nominal processing
+// (paper §IV-A, "evaluation is performed as soon as the data is available
+// and in parallel to the nominal data processing"). The operators are
+// pass-through: every input event is forwarded unchanged, and the check
+// work rides on top — exactly the overhead the paper measures in
+// Figs. 4-6.
+
+// StreamOutcomes accumulates check outcomes observed online. Safe for
+// concurrent use by multiple operator workers.
+type StreamOutcomes struct {
+	satisfied, violated, inconclusive atomic.Int64
+}
+
+// Add records one outcome.
+func (so *StreamOutcomes) Add(o core.Outcome) {
+	switch o {
+	case core.Satisfied:
+		so.satisfied.Add(1)
+	case core.Violated:
+		so.violated.Add(1)
+	default:
+		so.inconclusive.Add(1)
+	}
+}
+
+// Counts returns the accumulated totals.
+func (so *StreamOutcomes) Counts() OutcomeCounts {
+	return OutcomeCounts{
+		Satisfied:    int(so.satisfied.Load()),
+		Violated:     int(so.violated.Load()),
+		Inconclusive: int(so.inconclusive.Load()),
+	}
+}
+
+// unaryStreamChecker evaluates a unary check inline. Point-wise
+// constraints are evaluated per event; windowed constraints accumulate a
+// per-key buffer and evaluate when event time crosses the window end.
+type unaryStreamChecker struct {
+	check    core.Check
+	eval     *core.Evaluator
+	naive    bool
+	forward  bool
+	size     float64 // time window size; 0 for point-wise
+	count    int     // count window size; 0 for point-wise/time
+	out      *StreamOutcomes
+	buffers  map[string]*series.Series
+	winStart map[string]float64
+	// Reusable buffers keep the per-event hot path allocation-free.
+	pointBuf series.Series
+	winBuf   [1]series.Series
+}
+
+// NewUnaryStreamChecker returns a stream operator factory that evaluates
+// the unary check on the events flowing through it, forwarding every
+// event unchanged — for inline instrumentation. Wire it with
+// ConnectKeyed when windows are per-key. Set naive to evaluate with
+// BASE_CHECK semantics instead of Alg. 1.
+func NewUnaryStreamChecker(ck core.Check, params core.Params, seed uint64, naive bool, out *StreamOutcomes) func() stream.Processor {
+	return newUnaryStreamChecker(ck, params, seed, naive, true, out)
+}
+
+// NewUnarySideChecker is the side-branch variant of
+// NewUnaryStreamChecker: it consumes its input without forwarding, for
+// check operators that run in parallel to the nominal dataflow and have
+// no downstream.
+func NewUnarySideChecker(ck core.Check, params core.Params, seed uint64, naive bool, out *StreamOutcomes) func() stream.Processor {
+	return newUnaryStreamChecker(ck, params, seed, naive, false, out)
+}
+
+func newUnaryStreamChecker(ck core.Check, params core.Params, seed uint64, naive, forward bool, out *StreamOutcomes) func() stream.Processor {
+	var workerSeq atomic.Uint64
+	return func() stream.Processor {
+		c := &unaryStreamChecker{
+			check:    ck,
+			naive:    naive,
+			forward:  forward,
+			out:      out,
+			buffers:  map[string]*series.Series{},
+			winStart: map[string]float64{},
+		}
+		if !naive {
+			c.eval = core.MustEvaluator(params, seed+workerSeq.Add(1)*0x9e3779b9)
+		}
+		switch w := ck.Window.(type) {
+		case core.TimeWindow:
+			c.size = w.Size
+		case core.CountWindow:
+			c.count = w.Size
+		}
+		return c
+	}
+}
+
+// Process implements stream.Processor.
+func (c *unaryStreamChecker) Process(ev stream.Event, emit stream.EmitFunc) {
+	if c.forward {
+		emit(ev) // pass-through first: the nominal pipeline is not delayed by buffering
+	}
+	p := series.Point{T: ev.Time, V: ev.Value, SigUp: ev.SigUp, SigDown: ev.SigDown}
+	switch {
+	case c.size <= 0 && c.count <= 0:
+		// Point-wise: evaluate on a single-point window (reused buffer).
+		if c.pointBuf == nil {
+			c.pointBuf = make(series.Series, 1)
+		}
+		c.pointBuf[0] = p
+		c.evaluate(c.pointBuf)
+	case c.count > 0:
+		buf := c.buffer(ev.Key)
+		*buf = append(*buf, p)
+		if len(*buf) >= c.count {
+			c.evaluate(*buf)
+			*buf = (*buf)[:0]
+		}
+	default:
+		buf := c.buffer(ev.Key)
+		start := c.winStart[ev.Key]
+		if len(*buf) > 0 && ev.Time >= start+c.size {
+			c.evaluate(*buf)
+			*buf = (*buf)[:0]
+		}
+		if len(*buf) == 0 {
+			c.winStart[ev.Key] = windowStart(ev.Time, c.size)
+		}
+		*buf = append(*buf, p)
+	}
+}
+
+// Flush implements stream.Processor: evaluate open windows.
+func (c *unaryStreamChecker) Flush(stream.EmitFunc) {
+	for _, buf := range c.buffers {
+		if len(*buf) > 0 {
+			c.evaluate(*buf)
+		}
+	}
+}
+
+func (c *unaryStreamChecker) buffer(key string) *series.Series {
+	buf := c.buffers[key]
+	if buf == nil {
+		s := make(series.Series, 0, 64)
+		buf = &s
+		c.buffers[key] = buf
+	}
+	return buf
+}
+
+func (c *unaryStreamChecker) evaluate(w series.Series) {
+	c.winBuf[0] = w
+	tuple := core.WindowTuple{Windows: c.winBuf[:]}
+	if len(w) > 0 {
+		tuple.Start, tuple.End = w[0].T, w[len(w)-1].T
+	}
+	var o core.Outcome
+	if c.naive {
+		o = core.EvaluateNaive(c.check.Constraint, tuple)
+	} else {
+		o = c.eval.Evaluate(c.check.Constraint, tuple).Outcome
+	}
+	if c.out != nil {
+		c.out.Add(o)
+	}
+}
+
+// binaryStreamChecker evaluates a binary check over two tagged streams.
+// Events are attributed to input 0 or 1 by their Key; time windows
+// aligned on both inputs are evaluated when event time passes the window
+// end on both sides.
+type binaryStreamChecker struct {
+	check      core.Check
+	eval       *core.Evaluator
+	naive      bool
+	forward    bool
+	size       float64
+	keyA, keyB string
+	out        *StreamOutcomes
+	bufA, bufB series.Series
+	start      float64
+	open       bool
+}
+
+// NewBinaryStreamChecker returns a stream operator factory evaluating the
+// binary check on events whose Key equals keyA (first input) or keyB
+// (second input). The check's Window must be a core.TimeWindow. Other
+// events pass through untouched.
+func NewBinaryStreamChecker(ck core.Check, keyA, keyB string, params core.Params, seed uint64, naive bool, out *StreamOutcomes) func() stream.Processor {
+	return newBinaryStreamChecker(ck, keyA, keyB, params, seed, naive, true, out)
+}
+
+// NewBinarySideChecker is the side-branch variant of
+// NewBinaryStreamChecker (no forwarding, no downstream).
+func NewBinarySideChecker(ck core.Check, keyA, keyB string, params core.Params, seed uint64, naive bool, out *StreamOutcomes) func() stream.Processor {
+	return newBinaryStreamChecker(ck, keyA, keyB, params, seed, naive, false, out)
+}
+
+func newBinaryStreamChecker(ck core.Check, keyA, keyB string, params core.Params, seed uint64, naive, forward bool, out *StreamOutcomes) func() stream.Processor {
+	var workerSeq atomic.Uint64
+	return func() stream.Processor {
+		c := &binaryStreamChecker{check: ck, naive: naive, forward: forward, keyA: keyA, keyB: keyB, out: out}
+		if !naive {
+			c.eval = core.MustEvaluator(params, seed+workerSeq.Add(1)*0x9e3779b9)
+		}
+		if w, ok := ck.Window.(core.TimeWindow); ok {
+			c.size = w.Size
+		}
+		return c
+	}
+}
+
+// Process implements stream.Processor.
+func (c *binaryStreamChecker) Process(ev stream.Event, emit stream.EmitFunc) {
+	if c.forward {
+		emit(ev)
+	}
+	if ev.Key != c.keyA && ev.Key != c.keyB {
+		return
+	}
+	if !c.open {
+		c.start = windowStart(ev.Time, c.size)
+		c.open = true
+	}
+	if c.size > 0 && ev.Time >= c.start+c.size {
+		c.fire()
+		c.start = windowStart(ev.Time, c.size)
+	}
+	p := series.Point{T: ev.Time, V: ev.Value, SigUp: ev.SigUp, SigDown: ev.SigDown}
+	if ev.Key == c.keyA {
+		c.bufA = append(c.bufA, p)
+	} else {
+		c.bufB = append(c.bufB, p)
+	}
+}
+
+// Flush implements stream.Processor.
+func (c *binaryStreamChecker) Flush(stream.EmitFunc) {
+	if c.open {
+		c.fire()
+	}
+}
+
+func (c *binaryStreamChecker) fire() {
+	if len(c.bufA) == 0 && len(c.bufB) == 0 {
+		return
+	}
+	tuple := core.WindowTuple{
+		Windows: []series.Series{c.bufA, c.bufB},
+		Start:   c.start, End: c.start + c.size,
+	}
+	var o core.Outcome
+	if c.naive {
+		o = core.EvaluateNaive(c.check.Constraint, tuple)
+	} else {
+		o = c.eval.Evaluate(c.check.Constraint, tuple).Outcome
+	}
+	if c.out != nil {
+		c.out.Add(o)
+	}
+	c.bufA = c.bufA[:0]
+	c.bufB = c.bufB[:0]
+}
+
+func windowStart(t, size float64) float64 {
+	if size <= 0 {
+		return t
+	}
+	return float64(int64(t/size)) * size
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+
+	"sound/internal/resample"
+	"sound/internal/rng"
+	"sound/internal/series"
+	"sound/internal/stat"
+)
+
+// Params are the two framework parameters of the evaluation γ
+// (paper §IV-B): the credibility level c required before concluding an
+// outcome, and the maximum sample size N bounding the computational
+// effort for inconclusive cases.
+type Params struct {
+	// Credibility is the minimum posterior probability mass c required
+	// inside the decision region. Default 0.95.
+	Credibility float64
+	// MaxSamples is the maximum number of resampling iterations N.
+	// Default 100.
+	MaxSamples int
+	// PriorAlpha and PriorBeta configure the Beta prior; both default to
+	// 1 (the uninformative flat prior). Adjusting them injects prior
+	// knowledge into the evaluation (paper §IV-B).
+	PriorAlpha, PriorBeta float64
+	// CheckInterval controls how often the credible-interval decision
+	// rule runs: every CheckInterval-th sample. Default 1 (every sample,
+	// as in Alg. 1); larger values trade a little extra sampling for
+	// fewer quantile computations.
+	CheckInterval int
+	// MinSamples delays the decision rule until at least this many
+	// samples are drawn. Alg. 1 checks from the first sample (the
+	// default, 0); a small burn-in suppresses false conclusions caused
+	// by early random-walk excursions under the repeated-looks regime of
+	// sequential testing.
+	MinSamples int
+	// BlockSize overrides the block-bootstrap block size for sequence
+	// checks. 0 (the default) selects the paper's automatic rule
+	// b = ⌈√n⌉; resample.AutoBlockSize offers a data-driven choice.
+	BlockSize int
+}
+
+// DefaultParams returns the paper's default configuration
+// (c = 0.95, N = 100, flat prior).
+func DefaultParams() Params {
+	return Params{Credibility: 0.95, MaxSamples: 100, PriorAlpha: 1, PriorBeta: 1, CheckInterval: 1}
+}
+
+func (p Params) normalized() (Params, error) {
+	if p.Credibility == 0 {
+		p.Credibility = 0.95
+	}
+	if p.Credibility <= 0 || p.Credibility >= 1 {
+		return p, fmt.Errorf("core: credibility level %g outside (0, 1)", p.Credibility)
+	}
+	if p.MaxSamples == 0 {
+		p.MaxSamples = 100
+	}
+	if p.MaxSamples < 1 {
+		return p, fmt.Errorf("core: max sample size %d < 1", p.MaxSamples)
+	}
+	if p.PriorAlpha == 0 {
+		p.PriorAlpha = 1
+	}
+	if p.PriorBeta == 0 {
+		p.PriorBeta = 1
+	}
+	if p.PriorAlpha < 0 || p.PriorBeta < 0 {
+		return p, fmt.Errorf("core: negative prior (%g, %g)", p.PriorAlpha, p.PriorBeta)
+	}
+	if p.CheckInterval <= 0 {
+		p.CheckInterval = 1
+	}
+	if p.MinSamples < 0 {
+		p.MinSamples = 0
+	}
+	return p, nil
+}
+
+// Result is the outcome of one sanity check evaluation γ(φᵏ, wᵏ, c, N)
+// on a single window tuple, with the evidence that produced it.
+type Result struct {
+	Outcome Outcome
+	// Samples is the number of resampling iterations actually drawn;
+	// early stopping usually keeps this far below N.
+	Samples int
+	// SatisfiedCount is how many sampled realizations satisfied φ.
+	SatisfiedCount int
+	// ViolationProb is the posterior mean probability of violation.
+	ViolationProb float64
+	// Lower and Upper bound the posterior credible interval (level c)
+	// of the satisfaction probability at termination.
+	Lower, Upper float64
+	// Window references the evaluated window tuple.
+	Window WindowTuple
+}
+
+// Evaluator runs the robust constraint evaluation of Alg. 1. It is not
+// safe for concurrent use; create one per goroutine (cheap) with
+// independent seeds.
+type Evaluator struct {
+	params Params
+	r      *rng.Rand
+	// resamplers per strategy, created lazily and reused across calls.
+	rs [3]*resample.Resampler
+	// ciCache memoizes credible intervals by observation counts: the
+	// posterior depends only on (satisfied, violated), and point checks
+	// revisit the same counts for every window.
+	ciCache map[uint64][2]float64
+}
+
+// NewEvaluator returns an Evaluator with the given parameters and seed.
+func NewEvaluator(params Params, seed uint64) (*Evaluator, error) {
+	p, err := params.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{params: p, r: rng.New(seed)}, nil
+}
+
+// MustEvaluator is NewEvaluator that panics on invalid parameters, for
+// use in tests and examples with literal parameters.
+func MustEvaluator(params Params, seed uint64) *Evaluator {
+	e, err := NewEvaluator(params, seed)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Params returns the normalized evaluation parameters.
+func (e *Evaluator) Params() Params { return e.params }
+
+// Evaluate runs γ(φ, wᵏ, c, N) on one window tuple (paper Alg. 1).
+//
+// Each iteration draws a quality-aware resample of the k windows,
+// evaluates φ on it, updates the Beta posterior over the satisfaction
+// probability, and applies the decision rule: conclude ⊤ when the
+// credible interval lies entirely above the neutral threshold 0.5,
+// conclude ⊥ when it lies entirely below, and keep sampling otherwise.
+// If N samples are exhausted without a conclusion the outcome is ⊣.
+//
+// A window tuple with no data points at all cannot provide evidence and
+// yields ⊣ with zero samples.
+func (e *Evaluator) Evaluate(c Constraint, w WindowTuple) Result {
+	res := Result{Window: w}
+	if empty(w.Windows) {
+		res.ViolationProb = 0.5
+		lo, hi := stat.Beta{Alpha: e.params.PriorAlpha, Beta: e.params.PriorBeta}.CredibleInterval(e.params.Credibility)
+		res.Lower, res.Upper = lo, hi
+		return res
+	}
+	rs := e.resampler(c.Strategy())
+
+	countSatisfied := 0
+	prior := stat.Beta{Alpha: e.params.PriorAlpha, Beta: e.params.PriorBeta}
+	var post stat.Beta
+	for i := 1; i <= e.params.MaxSamples; i++ {
+		sample := rs.Draw(w.Windows)
+		if c.Eval(sample) {
+			countSatisfied++
+		}
+		res.Samples = i
+		post = prior.Observe(countSatisfied, i-countSatisfied)
+		if i < e.params.MinSamples {
+			continue
+		}
+		if i%e.params.CheckInterval != 0 && i != e.params.MaxSamples {
+			continue
+		}
+		lower, upper := e.credibleInterval(countSatisfied, i-countSatisfied, post)
+		res.Lower, res.Upper = lower, upper
+		if lower > 0.5 {
+			res.Outcome = Satisfied
+			break
+		}
+		if upper < 0.5 {
+			res.Outcome = Violated
+			break
+		}
+	}
+	res.SatisfiedCount = countSatisfied
+	res.ViolationProb = 1 - post.Mean()
+	return res
+}
+
+// EvaluateAll applies the windowing function and evaluates the constraint
+// on every window tuple, the densest coverage discussed in §IV-A
+// ("a constraint is evaluated for every index").
+func (e *Evaluator) EvaluateAll(c Constraint, win Windower, ss []series.Series) []Result {
+	tuples := win.Windows(ss)
+	out := make([]Result, len(tuples))
+	for i, w := range tuples {
+		out[i] = e.Evaluate(c, w)
+	}
+	return out
+}
+
+// credibleInterval returns the cached equal-tailed credible interval for
+// the posterior after the given observation counts.
+func (e *Evaluator) credibleInterval(satisfied, violated int, post stat.Beta) (lower, upper float64) {
+	const cacheLimit = 1 << 16
+	key := uint64(satisfied)<<32 | uint64(violated)
+	if ci, ok := e.ciCache[key]; ok {
+		return ci[0], ci[1]
+	}
+	lower, upper = post.CredibleInterval(e.params.Credibility)
+	if e.ciCache == nil {
+		e.ciCache = make(map[uint64][2]float64, 256)
+	}
+	if len(e.ciCache) < cacheLimit {
+		e.ciCache[key] = [2]float64{lower, upper}
+	}
+	return lower, upper
+}
+
+func (e *Evaluator) resampler(s resample.Strategy) *resample.Resampler {
+	if e.rs[s] == nil {
+		e.rs[s] = resample.New(s, e.r.Split())
+		if s == resample.Sequence && e.params.BlockSize > 0 {
+			e.rs[s].SetBlockSize(e.params.BlockSize)
+		}
+	}
+	return e.rs[s]
+}
+
+func empty(ws []series.Series) bool {
+	for _, w := range ws {
+		if len(w) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EvaluateNaive is the BASE_CHECK baseline (paper §VI-A): the constraint
+// function applied directly to the raw window values, ignoring value
+// uncertainty and data sparsity. It never returns ⊣ for non-empty
+// windows — exactly the false confidence the paper criticizes.
+func EvaluateNaive(c Constraint, w WindowTuple) Outcome {
+	if empty(w.Windows) {
+		return Inconclusive
+	}
+	vals := make([][]float64, len(w.Windows))
+	for i, win := range w.Windows {
+		vals[i] = win.Values()
+	}
+	if c.Eval(vals) {
+		return Satisfied
+	}
+	return Violated
+}
+
+// EvaluateAllNaive applies EvaluateNaive across a windowing function.
+func EvaluateAllNaive(c Constraint, win Windower, ss []series.Series) []Outcome {
+	tuples := win.Windows(ss)
+	out := make([]Outcome, len(tuples))
+	for i, w := range tuples {
+		out[i] = EvaluateNaive(c, w)
+	}
+	return out
+}
+
+// Check is a sanity check λ = (φᵏ, sᵏ, ψ): a constraint bound to k named
+// data series of a pipeline and a windowing function (paper §IV-A).
+type Check struct {
+	Name       string
+	Constraint Constraint
+	// SeriesNames identifies the k data series in the pipeline.
+	SeriesNames []string
+	Window      Windower
+}
+
+// Validate checks structural well-formedness of the check.
+func (ck Check) Validate() error {
+	if err := ck.Constraint.Validate(); err != nil {
+		return err
+	}
+	if len(ck.SeriesNames) != ck.Constraint.Arity {
+		return fmt.Errorf("core: check %q binds %d series to arity-%d constraint",
+			ck.Name, len(ck.SeriesNames), ck.Constraint.Arity)
+	}
+	if ck.Window == nil {
+		return fmt.Errorf("core: check %q has nil windowing function", ck.Name)
+	}
+	return nil
+}
+
+// Run evaluates the check on the given series (resolved in the order of
+// SeriesNames) with the evaluator.
+func (ck Check) Run(e *Evaluator, ss []series.Series) ([]Result, error) {
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ss) != ck.Constraint.Arity {
+		return nil, fmt.Errorf("core: check %q given %d series, want %d", ck.Name, len(ss), ck.Constraint.Arity)
+	}
+	return e.EvaluateAll(ck.Constraint, ck.Window, ss), nil
+}

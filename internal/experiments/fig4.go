@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sound/internal/astro"
+	"sound/internal/core"
+	"sound/internal/smartgrid"
+	"sound/internal/stat"
+	"sound/internal/stream"
+	"sound/internal/textplot"
+)
+
+// OverheadRun is one measured pipeline execution.
+type OverheadRun struct {
+	Scenario   string // "smartgrid" or "astro"
+	Mode       string // BASE_NOM / SOUND / BASE_CHECK
+	Throughput float64
+	// ThroughputCI is the 95% half-width across repetitions.
+	ThroughputCI float64
+	MeanLatency  float64 // seconds
+	LatencyCI    float64
+	Series       []stream.ThroughputPoint // throughput over wall time (last rep)
+}
+
+// Fig4Result reproduces paper Fig. 4: throughput and latency of the
+// nominal pipelines vs the SOUND-instrumented ones for both scenarios.
+type Fig4Result struct {
+	Runs []OverheadRun
+	// RelativeThroughput maps scenario → SOUND throughput as a fraction
+	// of BASE_NOM (the paper: ~0.95 smart grid, ~0.76 astro).
+	RelativeThroughput map[string]float64
+}
+
+// warmup is the trimmed fraction of each run (paper: 15%).
+const warmup = 0.15
+
+// RunFig4 executes both pipelines in BASE_NOM and SOUND mode with the
+// paper's configuration (c = 0.95, N = 100, 4 parallel workers).
+func RunFig4(opts Options) (*Fig4Result, error) {
+	params := core.Params{Credibility: 0.95, MaxSamples: 100}
+	events := opts.events(400_000, 30_000)
+	reps := opts.repeats(5)
+	res := &Fig4Result{RelativeThroughput: map[string]float64{}}
+
+	type build func(sound bool, seed uint64) (runner, string)
+	builders := map[string]build{
+		"smartgrid": func(sound bool, seed uint64) (runner, string) {
+			mode := smartgrid.BaseNom
+			if sound {
+				mode = smartgrid.Sound
+			}
+			app := smartgrid.BuildStream(smartgrid.DefaultConfig(), mode, params, 4, events, seed)
+			return app, app.SinkName
+		},
+		"astro": func(sound bool, seed uint64) (runner, string) {
+			mode := astro.BaseNom
+			if sound {
+				mode = astro.Sound
+			}
+			app := astro.BuildStream(astro.DefaultConfig(), mode, params, 4, events, seed)
+			return app, app.SinkName
+		},
+	}
+
+	for _, scenario := range []string{"smartgrid", "astro"} {
+		var base, sound OverheadRun
+		for _, withSound := range []bool{false, true} {
+			run := OverheadRun{Scenario: scenario, Mode: "BASE_NOM"}
+			if withSound {
+				run.Mode = "SOUND"
+			}
+			var thr, lat []float64
+			for rep := 0; rep < reps; rep++ {
+				app, sink := builders[scenario](withSound, opts.Seed)
+				m, err := app.Run()
+				if err != nil {
+					return nil, fmt.Errorf("fig4 %s %s: %w", scenario, run.Mode, err)
+				}
+				thr = append(thr, m.Throughput(sink))
+				lat = append(lat, m.MeanLatency(sink, warmup))
+				run.Series = m.ThroughputOverTime(sink, warmup)
+			}
+			run.Throughput, run.ThroughputCI = stat.MeanCI(thr, 0.95)
+			run.MeanLatency, run.LatencyCI = stat.MeanCI(lat, 0.95)
+			res.Runs = append(res.Runs, run)
+			if withSound {
+				sound = run
+			} else {
+				base = run
+			}
+		}
+		if base.Throughput > 0 {
+			res.RelativeThroughput[scenario] = sound.Throughput / base.Throughput
+		}
+	}
+	return res, nil
+}
+
+type runner interface {
+	Run() (*stream.Metrics, error)
+}
+
+// String renders the Fig. 4 comparison.
+func (r *Fig4Result) String() string {
+	t := Table{
+		Title:  "Fig. 4 — overhead of sanity checking (BASE_NOM vs SOUND, c=0.95, N=100)",
+		Header: []string{"scenario", "mode", "throughput (t/s)", "±95%", "latency (s)", "±95%"},
+	}
+	for _, run := range r.Runs {
+		t.AddRow(run.Scenario, run.Mode,
+			fmt.Sprintf("%.0f", run.Throughput), fmtCI(run.ThroughputCI, "%.0f"),
+			fmt.Sprintf("%.4f", run.MeanLatency), fmtCI(run.LatencyCI, "%.4f"))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	// The "over wall time" dimension of the paper's figure: the
+	// throughput series must be flat (constant overhead, stable state).
+	for _, run := range r.Runs {
+		if len(run.Series) == 0 {
+			continue
+		}
+		vals := make([]float64, len(run.Series))
+		for i, p := range run.Series {
+			vals[i] = p.PerSecond
+		}
+		if len(vals) > 64 {
+			vals = downsampleSeries(vals, 64)
+		}
+		fmt.Fprintf(&b, "%-9s %-10s t/s over time: %s\n", run.Scenario, run.Mode, textplot.Sparkline(vals))
+	}
+	for _, sc := range []string{"smartgrid", "astro"} {
+		if rel, ok := r.RelativeThroughput[sc]; ok {
+			fmt.Fprintf(&b, "%s: SOUND throughput = %.0f%% of BASE_NOM (paper: %s)\n",
+				sc, 100*rel, map[string]string{"smartgrid": "95%", "astro": "76%"}[sc])
+		}
+	}
+	return b.String()
+}
+
+// fmtCI formats a confidence half-width, rendering the single-repetition
+// case (NaN) as "-".
+func fmtCI(v float64, format string) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// downsampleSeries averages vals into n buckets for compact rendering.
+func downsampleSeries(vals []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(vals) / n
+		hi := (i + 1) * len(vals) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range vals[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

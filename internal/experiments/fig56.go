@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sound/internal/astro"
+	"sound/internal/core"
+	"sound/internal/smartgrid"
+	"sound/internal/stat"
+)
+
+// SweepPoint is one parameter setting of the Fig. 5/6 sweeps.
+type SweepPoint struct {
+	Param        string // "N" or "c"
+	Value        float64
+	Throughput   float64
+	ThroughputCI float64
+	MeanLatency  float64
+	LatencyCI    float64
+}
+
+// SweepResult reproduces paper Fig. 5 (smart grid) or Fig. 6 (astro):
+// overhead as a function of the maximum sample size N and the
+// credibility level c, against the BASE_NOM reference.
+type SweepResult struct {
+	Scenario   string
+	Baseline   OverheadRun // BASE_NOM reference (dashed line)
+	Points     []SweepPoint
+	NValues    []int
+	CredValues []float64
+}
+
+// RunFig5 sweeps the smart-grid scenario.
+func RunFig5(opts Options) (*SweepResult, error) { return runSweep("smartgrid", opts) }
+
+// RunFig6 sweeps the astrophysics scenario.
+func RunFig6(opts Options) (*SweepResult, error) { return runSweep("astro", opts) }
+
+func runSweep(scenario string, opts Options) (*SweepResult, error) {
+	res := &SweepResult{
+		Scenario:   scenario,
+		NValues:    []int{10, 50, 100, 150, 200},
+		CredValues: []float64{0.90, 0.925, 0.95, 0.975, 0.99},
+	}
+	if opts.Quick {
+		res.NValues = []int{10, 200}
+		res.CredValues = []float64{0.90, 0.99}
+	}
+	events := opts.events(200_000, 20_000)
+	reps := opts.repeats(3)
+
+	measure := func(params core.Params, sound bool) (thr, thrCI, lat, latCI float64, err error) {
+		var thrs, lats []float64
+		for rep := 0; rep < reps; rep++ {
+			var app runner
+			var sink string
+			if scenario == "smartgrid" {
+				mode := smartgrid.BaseNom
+				if sound {
+					mode = smartgrid.Sound
+				}
+				a := smartgrid.BuildStream(smartgrid.DefaultConfig(), mode, params, 4, events, opts.Seed)
+				app, sink = a, a.SinkName
+			} else {
+				mode := astro.BaseNom
+				if sound {
+					mode = astro.Sound
+				}
+				a := astro.BuildStream(astro.DefaultConfig(), mode, params, 4, events, opts.Seed)
+				app, sink = a, a.SinkName
+			}
+			m, e := app.Run()
+			if e != nil {
+				return 0, 0, 0, 0, e
+			}
+			thrs = append(thrs, m.Throughput(sink))
+			lats = append(lats, m.MeanLatency(sink, warmup))
+		}
+		t, tci := stat.MeanCI(thrs, 0.95)
+		l, lci := stat.MeanCI(lats, 0.95)
+		return t, tci, l, lci, nil
+	}
+
+	// BASE_NOM reference.
+	thr, thrCI, lat, latCI, err := measure(core.Params{Credibility: 0.95, MaxSamples: 100}, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = OverheadRun{
+		Scenario: scenario, Mode: "BASE_NOM",
+		Throughput: thr, ThroughputCI: thrCI, MeanLatency: lat, LatencyCI: latCI,
+	}
+
+	// Sweep N at c = 0.95.
+	for _, n := range res.NValues {
+		thr, thrCI, lat, latCI, err := measure(core.Params{Credibility: 0.95, MaxSamples: n}, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{
+			Param: "N", Value: float64(n),
+			Throughput: thr, ThroughputCI: thrCI, MeanLatency: lat, LatencyCI: latCI,
+		})
+	}
+	// Sweep c at N = 100.
+	for _, c := range res.CredValues {
+		thr, thrCI, lat, latCI, err := measure(core.Params{Credibility: c, MaxSamples: 100}, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{
+			Param: "c", Value: c,
+			Throughput: thr, ThroughputCI: thrCI, MeanLatency: lat, LatencyCI: latCI,
+		})
+	}
+	return res, nil
+}
+
+// String renders the sweep results.
+func (r *SweepResult) String() string {
+	fig := "Fig. 5"
+	if r.Scenario == "astro" {
+		fig = "Fig. 6"
+	}
+	t := Table{
+		Title: fmt.Sprintf("%s — %s: overhead vs max samples N and credibility c (dashed = BASE_NOM)",
+			fig, r.Scenario),
+		Header: []string{"param", "value", "throughput (t/s)", "±95%", "latency (s)", "±95%"},
+	}
+	t.AddRow("-", "BASE_NOM",
+		fmt.Sprintf("%.0f", r.Baseline.Throughput), fmtCI(r.Baseline.ThroughputCI, "%.0f"),
+		fmt.Sprintf("%.4f", r.Baseline.MeanLatency), fmtCI(r.Baseline.LatencyCI, "%.4f"))
+	for _, p := range r.Points {
+		t.AddRow(p.Param, fmt.Sprintf("%g", p.Value),
+			fmt.Sprintf("%.0f", p.Throughput), fmtCI(p.ThroughputCI, "%.0f"),
+			fmt.Sprintf("%.4f", p.MeanLatency), fmtCI(p.LatencyCI, "%.4f"))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment and returns its printable result.
+type Runner func(Options) (fmt.Stringer, error)
+
+// Registry maps experiment identifiers (table/figure numbers) to runners.
+var Registry = map[string]Runner{
+	"fig1":     func(o Options) (fmt.Stringer, error) { return RunFig1(o) },
+	"fig4":     func(o Options) (fmt.Stringer, error) { return RunFig4(o) },
+	"fig5":     func(o Options) (fmt.Stringer, error) { return RunFig5(o) },
+	"fig6":     func(o Options) (fmt.Stringer, error) { return RunFig6(o) },
+	"fig7":     func(o Options) (fmt.Stringer, error) { return RunFig7(o) },
+	"fig8":     func(o Options) (fmt.Stringer, error) { return RunFig8(o) },
+	"fig9":     func(o Options) (fmt.Stringer, error) { return RunFig9(o) },
+	"table5":   func(o Options) (fmt.Stringer, error) { return RunTable5(o) },
+	"ablation": func(o Options) (fmt.Stringer, error) { return RunAblation(o) },
+	"table6":   func(o Options) (fmt.Stringer, error) { return RunTable6(o) },
+}
+
+// Names returns the registered experiment identifiers, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for n := range Registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment.
+func Run(name string, opts Options) (fmt.Stringer, error) {
+	r, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(opts)
+}

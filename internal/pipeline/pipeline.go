@@ -1,0 +1,292 @@
+// Package pipeline implements the graph-based pipeline model of SOUND
+// (paper §III-A): a pipeline P = (S, E) is a DAG whose nodes are data
+// series and whose edges (s, o, s′) record that series s′ was derived from
+// series s by operator o. Operators are opaque user-defined functions;
+// the model only keeps their names for provenance.
+//
+// Violation analysis (paper §V-C, Alg. 2) walks the predecessor relation
+// •s to locate upstream changes, and records its findings as an
+// annotation set over the node names.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"sound/internal/series"
+)
+
+// Edge records that To was derived from From by Operator.
+type Edge struct {
+	From, Operator, To string
+}
+
+// Pipeline is a DAG of named data series connected by operator edges.
+// The zero value is not usable; construct with New.
+type Pipeline struct {
+	nodes map[string]series.Series
+	// preds[s] lists edges whose To == s.
+	preds map[string][]Edge
+	// succs[s] lists edges whose From == s.
+	succs map[string][]Edge
+	order []string // insertion order for deterministic iteration
+}
+
+// New returns an empty pipeline.
+func New() *Pipeline {
+	return &Pipeline{
+		nodes: make(map[string]series.Series),
+		preds: make(map[string][]Edge),
+		succs: make(map[string][]Edge),
+	}
+}
+
+// AddSeries registers (or replaces the data of) a named series node.
+func (p *Pipeline) AddSeries(name string, s series.Series) {
+	if _, exists := p.nodes[name]; !exists {
+		p.order = append(p.order, name)
+	}
+	p.nodes[name] = s
+}
+
+// SetSeries replaces the data of an existing node, failing if absent.
+func (p *Pipeline) SetSeries(name string, s series.Series) error {
+	if _, ok := p.nodes[name]; !ok {
+		return fmt.Errorf("pipeline: unknown series %q", name)
+	}
+	p.nodes[name] = s
+	return nil
+}
+
+// Connect adds the edge (from, op, to). Both endpoints must exist, and
+// the edge must not close a cycle.
+func (p *Pipeline) Connect(from, op, to string) error {
+	if _, ok := p.nodes[from]; !ok {
+		return fmt.Errorf("pipeline: unknown source series %q", from)
+	}
+	if _, ok := p.nodes[to]; !ok {
+		return fmt.Errorf("pipeline: unknown target series %q", to)
+	}
+	if from == to {
+		return fmt.Errorf("pipeline: self-edge on %q", from)
+	}
+	if p.reaches(to, from) {
+		return fmt.Errorf("pipeline: edge %q -> %q would close a cycle", from, to)
+	}
+	e := Edge{From: from, Operator: op, To: to}
+	p.preds[to] = append(p.preds[to], e)
+	p.succs[from] = append(p.succs[from], e)
+	return nil
+}
+
+// reaches reports whether to is reachable from from along edges.
+func (p *Pipeline) reaches(from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range p.succs[cur] {
+			if e.To == to {
+				return true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}
+
+// Series returns the data of the named node.
+func (p *Pipeline) Series(name string) (series.Series, bool) {
+	s, ok := p.nodes[name]
+	return s, ok
+}
+
+// MustSeries returns the data of the named node, panicking when absent.
+func (p *Pipeline) MustSeries(name string) series.Series {
+	s, ok := p.nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("pipeline: unknown series %q", name))
+	}
+	return s
+}
+
+// Names returns the node names in insertion order.
+func (p *Pipeline) Names() []string {
+	out := make([]string, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// Predecessors returns •s: the names of series from which name was
+// directly derived, in deterministic order.
+func (p *Pipeline) Predecessors(name string) []string {
+	edges := p.preds[name]
+	seen := make(map[string]bool, len(edges))
+	out := make([]string, 0, len(edges))
+	for _, e := range edges {
+		if !seen[e.From] {
+			seen[e.From] = true
+			out = append(out, e.From)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Successors returns the names of series directly derived from name.
+func (p *Pipeline) Successors(name string) []string {
+	edges := p.succs[name]
+	seen := make(map[string]bool, len(edges))
+	out := make([]string, 0, len(edges))
+	for _, e := range edges {
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Upstream returns all transitive predecessors of name (excluding name),
+// sorted.
+func (p *Pipeline) Upstream(name string) []string {
+	seen := map[string]bool{}
+	var visit func(n string)
+	visit = func(n string) {
+		for _, e := range p.preds[n] {
+			if !seen[e.From] {
+				seen[e.From] = true
+				visit(e.From)
+			}
+		}
+	}
+	visit(name)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns all edges of the pipeline in a deterministic order.
+func (p *Pipeline) Edges() []Edge {
+	var out []Edge
+	for _, n := range p.order {
+		out = append(out, p.succs[n]...)
+	}
+	return out
+}
+
+// Topological returns the node names in a topological order (sources
+// first). The pipeline is acyclic by construction of Connect.
+func (p *Pipeline) Topological() []string {
+	indeg := make(map[string]int, len(p.nodes))
+	for _, n := range p.order {
+		indeg[n] = 0
+	}
+	for _, n := range p.order {
+		seen := map[string]bool{}
+		for _, e := range p.preds[n] {
+			if !seen[e.From] {
+				seen[e.From] = true
+				indeg[n]++
+			}
+		}
+	}
+	var queue []string
+	for _, n := range p.order {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	var out []string
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, succ := range p.Successors(cur) {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				queue = append(queue, succ)
+			}
+		}
+	}
+	return out
+}
+
+// Sources returns nodes without predecessors (primary inputs), sorted.
+func (p *Pipeline) Sources() []string {
+	var out []string
+	for _, n := range p.order {
+		if len(p.preds[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sinks returns nodes without successors (final data products), sorted.
+func (p *Pipeline) Sinks() []string {
+	var out []string
+	for _, n := range p.order {
+		if len(p.succs[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Annotation is a set of series names marked by the violation analysis
+// (the output R of paper Alg. 2). Series and operators upstream of an
+// annotated node remain in the root-cause search space; everything else
+// is excluded.
+type Annotation map[string]bool
+
+// Add marks a series name.
+func (a Annotation) Add(name string) { a[name] = true }
+
+// Contains reports whether a series name is marked.
+func (a Annotation) Contains(name string) bool { return a[name] }
+
+// Names returns the marked names, sorted.
+func (a Annotation) Names() []string {
+	out := make([]string, 0, len(a))
+	for n := range a {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SearchSpace returns the series names that remain candidate root-cause
+// locations given the annotation: the annotated nodes themselves plus
+// their transitive upstream closure, intersected with the pipeline.
+func (a Annotation) SearchSpace(p *Pipeline) []string {
+	keep := map[string]bool{}
+	for n := range a {
+		if _, ok := p.Series(n); !ok {
+			continue
+		}
+		keep[n] = true
+		for _, u := range p.Upstream(n) {
+			keep[u] = true
+		}
+	}
+	out := make([]string, 0, len(keep))
+	for n := range keep {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"sound/internal/series"
+)
+
+// diamond builds a -> b -> d, a -> c -> d.
+func diamond(t *testing.T) *Pipeline {
+	t.Helper()
+	p := New()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		p.AddSeries(n, series.FromValues(1, 2, 3))
+	}
+	for _, e := range []Edge{
+		{"a", "f", "b"}, {"a", "g", "c"}, {"b", "h", "d"}, {"c", "i", "d"},
+	} {
+		if err := p.Connect(e.From, e.Operator, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestConnectValidations(t *testing.T) {
+	p := New()
+	p.AddSeries("a", nil)
+	p.AddSeries("b", nil)
+	if err := p.Connect("a", "op", "missing"); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := p.Connect("missing", "op", "b"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := p.Connect("a", "op", "a"); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := p.Connect("a", "op", "b"); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if err := p.Connect("b", "op", "a"); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestPredecessorsSuccessors(t *testing.T) {
+	p := diamond(t)
+	if got := p.Predecessors("d"); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Errorf("•d = %v", got)
+	}
+	if got := p.Successors("a"); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Errorf("a• = %v", got)
+	}
+	if got := p.Predecessors("a"); len(got) != 0 {
+		t.Errorf("•a = %v", got)
+	}
+}
+
+func TestUpstream(t *testing.T) {
+	p := diamond(t)
+	if got := p.Upstream("d"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("upstream(d) = %v", got)
+	}
+	if got := p.Upstream("a"); len(got) != 0 {
+		t.Errorf("upstream(a) = %v", got)
+	}
+}
+
+func TestTopological(t *testing.T) {
+	p := diamond(t)
+	order := p.Topological()
+	if len(order) != 4 {
+		t.Fatalf("topological order has %d nodes", len(order))
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range p.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violates topological order %v", e, order)
+		}
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	p := diamond(t)
+	if got := p.Sources(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("sources = %v", got)
+	}
+	if got := p.Sinks(); !reflect.DeepEqual(got, []string{"d"}) {
+		t.Errorf("sinks = %v", got)
+	}
+}
+
+func TestSeriesAccess(t *testing.T) {
+	p := diamond(t)
+	if _, ok := p.Series("a"); !ok {
+		t.Error("existing series not found")
+	}
+	if _, ok := p.Series("zz"); ok {
+		t.Error("missing series found")
+	}
+	if err := p.SetSeries("a", series.FromValues(9)); err != nil {
+		t.Errorf("SetSeries failed: %v", err)
+	}
+	if s := p.MustSeries("a"); len(s) != 1 || s[0].V != 9 {
+		t.Error("SetSeries did not replace data")
+	}
+	if err := p.SetSeries("zz", nil); err == nil {
+		t.Error("SetSeries on unknown accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSeries on unknown did not panic")
+		}
+	}()
+	p.MustSeries("zz")
+}
+
+func TestNamesInsertionOrder(t *testing.T) {
+	p := New()
+	p.AddSeries("z", nil)
+	p.AddSeries("a", nil)
+	p.AddSeries("z", nil) // replace, not duplicate
+	if got := p.Names(); !reflect.DeepEqual(got, []string{"z", "a"}) {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	p := diamond(t)
+	e1 := p.Edges()
+	e2 := p.Edges()
+	if !reflect.DeepEqual(e1, e2) {
+		t.Error("Edges() not deterministic")
+	}
+	if len(e1) != 4 {
+		t.Errorf("edge count = %d", len(e1))
+	}
+}
+
+func TestAnnotationSearchSpace(t *testing.T) {
+	p := diamond(t)
+	a := Annotation{}
+	a.Add("b")
+	if !a.Contains("b") || a.Contains("c") {
+		t.Error("annotation membership wrong")
+	}
+	// Annotating b keeps b and its upstream a; c and d are excluded.
+	if got := a.SearchSpace(p); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("search space = %v", got)
+	}
+	a.Add("nonexistent")
+	if got := a.SearchSpace(p); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("search space with dangling annotation = %v", got)
+	}
+	if got := a.Names(); !reflect.DeepEqual(got, []string{"b", "nonexistent"}) {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestMultiEdgeDedup(t *testing.T) {
+	p := New()
+	p.AddSeries("a", nil)
+	p.AddSeries("b", nil)
+	if err := p.Connect("a", "op1", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Connect("a", "op2", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Predecessors("b"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("predecessors with parallel edges = %v", got)
+	}
+	if len(p.Edges()) != 2 {
+		t.Error("parallel edges should both be recorded")
+	}
+}

@@ -1,0 +1,259 @@
+// Package profile suggests sanity constraints from trustworthy data, the
+// assist the paper motivates in §II: "once trustworthy data is
+// available, various types of techniques to detect common structure and
+// regularities in data may also help users in constraint definition" —
+// value ranges from data profiling, dependencies from correlation
+// analysis, and recurring behaviour from trend detection.
+//
+// Suggestions are starting points for a human, never ground truth: each
+// carries the evidence that produced it, and the suggested thresholds
+// include safety margins so that the originating data itself passes.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"sound/internal/core"
+	"sound/internal/series"
+	"sound/internal/stat"
+)
+
+// Options tune the suggestion heuristics.
+type Options struct {
+	// RangeMargin widens suggested value ranges by this multiple of the
+	// interquartile range on each side (default 1.5, the Tukey fence).
+	RangeMargin float64
+	// MinCorrelation is the |Pearson| above which a pair of series gets
+	// a correlation constraint suggestion (default 0.7).
+	MinCorrelation float64
+	// MonotoneTolerance is the fraction of decreasing steps tolerated
+	// before a series is no longer considered monotone (default 0, i.e.
+	// strictly non-decreasing evidence required).
+	MonotoneTolerance float64
+	// WindowPoints sizes suggested count windows (default 20).
+	WindowPoints int
+	// MinPoints is the minimum series length to profile (default 10).
+	MinPoints int
+}
+
+func (o Options) normalized() Options {
+	if o.RangeMargin == 0 {
+		o.RangeMargin = 1.5
+	}
+	if o.MinCorrelation == 0 {
+		o.MinCorrelation = 0.7
+	}
+	if o.WindowPoints == 0 {
+		o.WindowPoints = 20
+	}
+	if o.MinPoints == 0 {
+		o.MinPoints = 10
+	}
+	return o
+}
+
+// Suggestion is one proposed sanity check with its supporting evidence.
+type Suggestion struct {
+	Check    core.Check
+	Evidence string
+	// Score orders suggestions by strength of evidence in [0, 1].
+	Score float64
+}
+
+// Suggest profiles the named series and returns proposed checks, ordered
+// by descending evidence score. The input data is assumed trustworthy
+// (profile *after* establishing trust, not before).
+func Suggest(data map[string]series.Series, opts Options) []Suggestion {
+	opts = opts.normalized()
+	var out []Suggestion
+
+	names := make([]string, 0, len(data))
+	for name := range data {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		s := data[name]
+		if len(s) < opts.MinPoints {
+			continue
+		}
+		out = append(out, suggestRange(name, s, opts))
+		if sug, ok := suggestMonotone(name, s, opts); ok {
+			out = append(out, sug)
+		}
+		if sug, ok := suggestNonNegative(name, s); ok {
+			out = append(out, sug)
+		}
+	}
+
+	// Pairwise correlation constraints.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := data[names[i]], data[names[j]]
+			if len(a) < opts.MinPoints || len(b) < opts.MinPoints {
+				continue
+			}
+			if sug, ok := suggestCorrelation(names[i], names[j], a, b, opts); ok {
+				out = append(out, sug)
+			}
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// suggestRange proposes a plausible-range check from Tukey fences.
+func suggestRange(name string, s series.Series, opts Options) Suggestion {
+	vals := s.Values()
+	q1, q3 := stat.Quantile(vals, 0.25), stat.Quantile(vals, 0.75)
+	iqr := q3 - q1
+	lo := q1 - opts.RangeMargin*iqr
+	hi := q3 + opts.RangeMargin*iqr
+	// Also widen to cover observed extremes plus the mean uncertainty,
+	// so the trusted data itself passes with room for measurement noise.
+	min, max, _ := s.MinMax()
+	pad := meanSigma(s)
+	if min-pad < lo {
+		lo = min - pad
+	}
+	if max+pad > hi {
+		hi = max + pad
+	}
+	return Suggestion{
+		Check: core.Check{
+			Name:        fmt.Sprintf("suggested-range(%s)", name),
+			Constraint:  core.Range(lo, hi),
+			SeriesNames: []string{name},
+			Window:      core.PointWindow{},
+		},
+		Evidence: fmt.Sprintf("values in [%.4g, %.4g] (IQR [%.4g, %.4g], margin %.2g·IQR)",
+			min, max, q1, q3, opts.RangeMargin),
+		Score: 0.5, // a range always exists; mid confidence
+	}
+}
+
+// suggestMonotone proposes a monotonicity check when the data never (or
+// almost never) decreases.
+func suggestMonotone(name string, s series.Series, opts Options) (Suggestion, bool) {
+	decreasing := 0
+	for i := 1; i < len(s); i++ {
+		if s[i].V < s[i-1].V {
+			decreasing++
+		}
+	}
+	frac := float64(decreasing) / float64(len(s)-1)
+	if frac > opts.MonotoneTolerance {
+		return Suggestion{}, false
+	}
+	return Suggestion{
+		Check: core.Check{
+			Name:        fmt.Sprintf("suggested-monotone(%s)", name),
+			Constraint:  core.MonotonicIncrease(false),
+			SeriesNames: []string{name},
+			Window:      core.CountWindow{Size: opts.WindowPoints},
+		},
+		Evidence: fmt.Sprintf("%d of %d steps non-decreasing", len(s)-1-decreasing, len(s)-1),
+		Score:    1 - frac,
+	}, true
+}
+
+// suggestNonNegative proposes x >= 0 when all values are comfortably
+// non-negative (a common physical invariant: counts, distances, loads).
+func suggestNonNegative(name string, s series.Series) (Suggestion, bool) {
+	min, _, err := s.MinMax()
+	if err != nil || min < 0 {
+		return Suggestion{}, false
+	}
+	return Suggestion{
+		Check: core.Check{
+			Name:        fmt.Sprintf("suggested-nonneg(%s)", name),
+			Constraint:  core.NonNegative(),
+			SeriesNames: []string{name},
+			Window:      core.PointWindow{},
+		},
+		Evidence: fmt.Sprintf("all %d values >= 0 (min %.4g)", len(s), min),
+		Score:    0.6,
+	}, true
+}
+
+// suggestCorrelation proposes corr(x, y) > t for strongly correlated
+// pairs. Series with different cadences are aligned by regularizing both
+// onto the coarser grid before measuring.
+func suggestCorrelation(nameA, nameB string, a, b series.Series, opts Options) (Suggestion, bool) {
+	x, y := alignPair(a, b)
+	if len(x) < opts.MinPoints {
+		return Suggestion{}, false
+	}
+	r := stat.Pearson(x, y)
+	if !(r >= opts.MinCorrelation) { // NaN fails
+		return Suggestion{}, false
+	}
+	// Suggested bound: half the observed correlation, so normal
+	// fluctuation does not trip the check.
+	bound := r / 2
+	return Suggestion{
+		Check: core.Check{
+			Name:        fmt.Sprintf("suggested-corr(%s,%s)", nameA, nameB),
+			Constraint:  core.CorrelationAbove(bound),
+			SeriesNames: []string{nameA, nameB},
+			Window:      core.CountWindow{Size: opts.WindowPoints * 2},
+		},
+		Evidence: fmt.Sprintf("observed corr %.3f on %d aligned points", r, len(x)),
+		Score:    r,
+	}, true
+}
+
+// alignPair resamples both series onto a shared regular grid over their
+// overlapping span and returns the aligned value vectors.
+func alignPair(a, b series.Series) (x, y []float64) {
+	if len(a) < 2 || len(b) < 2 {
+		return nil, nil
+	}
+	aStart, aEnd := a.Span()
+	bStart, bEnd := b.Span()
+	start, end := maxf(aStart, bStart), minf(aEnd, bEnd)
+	if end <= start {
+		return nil, nil
+	}
+	// Grid at the coarser of the two mean cadences.
+	dt := maxf((aEnd-aStart)/float64(len(a)-1), (bEnd-bStart)/float64(len(b)-1))
+	ra := series.Regularize(a.SliceTimeInclusive(start, end), dt, 0)
+	rb := series.Regularize(b.SliceTimeInclusive(start, end), dt, 0)
+	n := len(ra)
+	if len(rb) < n {
+		n = len(rb)
+	}
+	for i := 0; i < n; i++ {
+		x = append(x, ra[i].V)
+		y = append(y, rb[i].V)
+	}
+	return x, y
+}
+
+func meanSigma(s series.Series) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s {
+		sum += (p.SigUp + p.SigDown) / 2
+	}
+	return sum / float64(len(s))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,276 @@
+// Package resample implements the resampling strategies of SOUND's
+// constraint evaluation (paper §IV-B). Resampling is not a performance
+// device: it materializes the implicit variability of a window under the
+// two modelled data-quality issues so that the constraint function can be
+// evaluated on plausible alternative realizations.
+//
+// Three strategies correspond to the constraint taxonomy:
+//
+//   - Point: per-point Monte-Carlo perturbation with the asymmetric normal
+//     uncertainty model — used for point-wise checks.
+//   - Set: i.i.d. bootstrap (sampling points with replacement) layered with
+//     the point perturbation — used for window-based set checks, where the
+//     bootstrap propagates the sampling uncertainty of sparse windows.
+//   - Sequence: block bootstrap with block size b = ⌈√n⌉ — used for
+//     window-based sequence checks, preserving short-range ordering
+//     within blocks.
+//
+// For k-ary checks the same random block/point indices are used across all
+// k windows so that the series remain aligned (paper §IV-B).
+package resample
+
+import (
+	"math"
+
+	"sound/internal/rng"
+	"sound/internal/series"
+	"sound/internal/stat"
+)
+
+// Strategy selects how a window is resampled.
+type Strategy int
+
+const (
+	// Point perturbs each point's value with its uncertainty model.
+	Point Strategy = iota
+	// Set draws points i.i.d. with replacement, then perturbs values.
+	Set
+	// Sequence draws contiguous blocks with replacement, then perturbs.
+	Sequence
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Point:
+		return "point"
+	case Set:
+		return "set"
+	case Sequence:
+		return "sequence"
+	}
+	return "unknown"
+}
+
+// PerturbValue draws one realization of a point's value under the
+// asymmetric (split) normal uncertainty model: the value is shifted
+// upward by |N(0, σ↑)| with probability σ↑/(σ↑+σ↓) and downward by
+// |N(0, σ↓)| otherwise. The branch weighting makes the two half-normal
+// pieces join into a continuous split-normal density, so the side with
+// the larger standard deviation carries proportionally more probability
+// mass — exactly the semantics of an asymmetric error bar (a point just
+// above a threshold with a large downward error is *likely* below it,
+// paper Fig. 1). A certain point (σ↑ = σ↓ = 0) is returned unaltered.
+func PerturbValue(p series.Point, r *rng.Rand) float64 {
+	if p.Certain() {
+		return p.V
+	}
+	if r.Float64()*(p.SigUp+p.SigDown) < p.SigUp {
+		return p.V + math.Abs(r.NormFloat64())*p.SigUp
+	}
+	return p.V - math.Abs(r.NormFloat64())*p.SigDown
+}
+
+// BlockSize returns the automatic block-bootstrap block size b = ⌈√n⌉
+// (paper §IV-B), at least 1.
+func BlockSize(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}
+
+// AutoBlockSize returns a data-driven block size for a sequence window:
+// the larger of the ⌈√n⌉ default and the series' decorrelation length
+// (the lag at which the sample autocorrelation falls inside the 95%
+// white-noise band), clamped to n. Blocks must span the dependence range
+// of the data or the bootstrap destroys exactly the structure a sequence
+// constraint checks.
+func AutoBlockSize(vals []float64) int {
+	n := len(vals)
+	if n <= 1 {
+		return 1
+	}
+	b := BlockSize(n)
+	if d := stat.DecorrelationLength(vals, n/2); d > b {
+		b = d
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// Resampler draws aligned resamples of k windows. Buffers are reused
+// across draws, so the returned slices are only valid until the next call.
+// A Resampler is not safe for concurrent use.
+type Resampler struct {
+	strategy  Strategy
+	r         *rng.Rand
+	blockSize int         // 0 = automatic b = ⌈√n⌉
+	buf       [][]float64 // per-window value buffers, reused
+	idx       []int       // shared index buffer for set/sequence draws
+}
+
+// New returns a Resampler with the given strategy and random source.
+func New(strategy Strategy, r *rng.Rand) *Resampler {
+	return &Resampler{strategy: strategy, r: r}
+}
+
+// Strategy returns the resampling strategy.
+func (rs *Resampler) Strategy() Strategy { return rs.strategy }
+
+// SetBlockSize overrides the block-bootstrap block size; 0 restores the
+// automatic b = ⌈√n⌉ rule.
+func (rs *Resampler) SetBlockSize(b int) {
+	if b < 0 {
+		b = 0
+	}
+	rs.blockSize = b
+}
+
+// ForConstraint maps constraint taxonomy traits to the appropriate
+// strategy: point-wise checks use Point; windowed set checks use Set;
+// windowed sequence checks use Sequence.
+func ForConstraint(pointWise, ordered bool) Strategy {
+	switch {
+	case pointWise:
+		return Point
+	case ordered:
+		return Sequence
+	default:
+		return Set
+	}
+}
+
+// Draw produces one aligned resample of the k windows and returns the k
+// value sequences. All windows must have equal length for Set and
+// Sequence strategies (k-ary alignment requires shared indices); Draw
+// falls back to per-window independent sampling when lengths differ,
+// which is the defined behaviour for unary checks with k = 1 anyway.
+func (rs *Resampler) Draw(windows []series.Series) [][]float64 {
+	k := len(windows)
+	if cap(rs.buf) < k {
+		rs.buf = make([][]float64, k)
+	}
+	rs.buf = rs.buf[:k]
+
+	switch rs.strategy {
+	case Point:
+		for wi, w := range windows {
+			rs.buf[wi] = sliceFor(rs.buf[wi], len(w))
+			for i, p := range w {
+				rs.buf[wi][i] = PerturbValue(p, rs.r)
+			}
+		}
+	case Set:
+		rs.drawIndexed(windows, rs.setIndices)
+	case Sequence:
+		rs.drawIndexed(windows, rs.blockIndices)
+	}
+	return rs.buf
+}
+
+// drawIndexed samples shared indices per alignment group and materializes
+// perturbed values. Windows of the same length share one index vector so
+// that k aligned series stay aligned; a window with a different length
+// gets its own independent index vector.
+func (rs *Resampler) drawIndexed(windows []series.Series, gen func(n int) []int) {
+	k := len(windows)
+	// Fast path: all windows share a length (the common case for binary
+	// index-aligned checks and all unary checks).
+	allSame := true
+	for _, w := range windows[1:] {
+		if len(w) != len(windows[0]) {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		n := len(windows[0])
+		idx := gen(n)
+		for wi := 0; wi < k; wi++ {
+			rs.buf[wi] = sliceFor(rs.buf[wi], n)
+			for i, j := range idx {
+				rs.buf[wi][i] = PerturbValue(windows[wi][j], rs.r)
+			}
+		}
+		return
+	}
+	for wi, w := range windows {
+		idx := gen(len(w))
+		rs.buf[wi] = sliceFor(rs.buf[wi], len(w))
+		for i, j := range idx {
+			rs.buf[wi][i] = PerturbValue(w[j], rs.r)
+		}
+	}
+}
+
+// setIndices returns n i.i.d. uniform indices in [0, n).
+func (rs *Resampler) setIndices(n int) []int {
+	rs.idx = intsFor(rs.idx, n)
+	for i := range rs.idx {
+		rs.idx[i] = rs.r.Intn(n)
+	}
+	return rs.idx
+}
+
+// blockIndices returns n indices formed by concatenating contiguous
+// blocks of size b = ⌈√n⌉ whose start offsets are drawn uniformly with
+// replacement (moving-block bootstrap). The final block is truncated to
+// length n.
+func (rs *Resampler) blockIndices(n int) []int {
+	rs.idx = intsFor(rs.idx, n)
+	if n == 0 {
+		return rs.idx
+	}
+	b := rs.blockSize
+	if b <= 0 {
+		b = BlockSize(n)
+	}
+	if b > n {
+		b = n
+	}
+	pos := 0
+	for pos < n {
+		start := rs.r.Intn(n - b + 1)
+		for j := 0; j < b && pos < n; j++ {
+			rs.idx[pos] = start + j
+			pos++
+		}
+	}
+	return rs.idx
+}
+
+// Blocks splits a window into the subsequent blocks of size b = ⌈√n⌉ used
+// by the block bootstrap. The violation-analysis explanation E6 evaluates
+// the constraint on each block individually (paper §V-B).
+func Blocks(w series.Series) []series.Series {
+	n := len(w)
+	if n == 0 {
+		return nil
+	}
+	b := BlockSize(n)
+	out := make([]series.Series, 0, (n+b-1)/b)
+	for i := 0; i < n; i += b {
+		end := i + b
+		if end > n {
+			end = n
+		}
+		out = append(out, w[i:end])
+	}
+	return out
+}
+
+func sliceFor(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func intsFor(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,125 @@
+package series
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV column layout used by ReadCSV/WriteCSV: t,v,sig_up,sig_down.
+// The uncertainty columns are optional on read (missing → certain data).
+var csvHeader = []string{"t", "v", "sig_up", "sig_down"}
+
+// WriteCSV writes the series with a header row.
+func WriteCSV(w io.Writer, s Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	rec := make([]string, 4)
+	for _, p := range s {
+		rec[0] = strconv.FormatFloat(p.T, 'g', -1, 64)
+		rec[1] = strconv.FormatFloat(p.V, 'g', -1, 64)
+		rec[2] = strconv.FormatFloat(p.SigUp, 'g', -1, 64)
+		rec[3] = strconv.FormatFloat(p.SigDown, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a series written by WriteCSV. A header row is detected and
+// skipped when the first field is not numeric. Rows may have 2, 3, or 4
+// columns; missing uncertainty columns default to zero.
+func ReadCSV(r io.Reader) (Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var s Series
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("series: row %d has %d fields, want >= 2", line, len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("series: row %d: bad timestamp %q", line, rec[0])
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("series: row %d: bad value %q", line, rec[1])
+		}
+		p := Point{T: t, V: v}
+		if len(rec) > 2 && rec[2] != "" {
+			if p.SigUp, err = strconv.ParseFloat(rec[2], 64); err != nil {
+				return nil, fmt.Errorf("series: row %d: bad sig_up %q", line, rec[2])
+			}
+		}
+		if len(rec) > 3 && rec[3] != "" {
+			if p.SigDown, err = strconv.ParseFloat(rec[3], 64); err != nil {
+				return nil, fmt.Errorf("series: row %d: bad sig_down %q", line, rec[3])
+			}
+		}
+		s = append(s, p)
+	}
+	if !s.Sorted() {
+		s.Sort()
+	}
+	return s, nil
+}
+
+// pointJSON is the stable JSON wire form of a Point.
+type pointJSON struct {
+	T       float64 `json:"t"`
+	V       float64 `json:"v"`
+	SigUp   float64 `json:"sig_up,omitempty"`
+	SigDown float64 `json:"sig_down,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p Point) MarshalJSON() ([]byte, error) {
+	return json.Marshal(pointJSON(p))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Point) UnmarshalJSON(data []byte) error {
+	var pj pointJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	*p = Point(pj)
+	return nil
+}
+
+// WriteJSON writes the series as a JSON array.
+func WriteJSON(w io.Writer, s Series) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// ReadJSON reads a series written by WriteJSON, sorting if needed.
+func ReadJSON(r io.Reader) (Series, error) {
+	var s Series
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	if !s.Sorted() {
+		s.Sort()
+	}
+	return s, nil
+}

@@ -1,0 +1,57 @@
+package series
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CSV reader against arbitrary input: it must
+// never panic, and anything it accepts must satisfy the series
+// invariants and survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("t,v\n1,2\n")
+	f.Add("1,2,0.5\n3,4,0.5,0.25\n")
+	f.Add("")
+	f.Add("t,v\nx,y\n")
+	f.Add("1,2\n1,3\n0,4\n") // unsorted
+	f.Add("1,2,,\n")
+	f.Add(strings.Repeat("1,2\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if !s.Sorted() {
+			t.Fatalf("accepted series is unsorted: %v", s)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, s); err != nil {
+			t.Fatalf("accepted series failed to write: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round trip changed length: %d -> %d", len(s), len(back))
+		}
+	})
+}
+
+// FuzzReadJSON exercises the JSON reader the same way.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`[{"t":1,"v":2}]`)
+	f.Add(`[]`)
+	f.Add(`[{"t":2,"v":1},{"t":1,"v":3}]`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if !s.Sorted() {
+			t.Fatalf("accepted series is unsorted: %v", s)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package series
+
+import (
+	"math"
+	"sort"
+)
+
+// Merge combines multiple series into one, ordered by time (stable with
+// respect to the input order for equal timestamps).
+func Merge(ss ...Series) Series {
+	total := 0
+	for _, s := range ss {
+		total += len(s)
+	}
+	out := make(Series, 0, total)
+	for _, s := range ss {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Regularize resamples the series onto a regular grid with spacing dt
+// starting at the first timestamp, linearly interpolating values and
+// uncertainties between neighbouring points. Grid points falling inside
+// a gap longer than maxGap are *omitted* rather than interpolated —
+// fabricating values across observation gaps would hide exactly the
+// sparsity SOUND is designed to expose. With maxGap <= 0 every gap is
+// interpolated.
+//
+// The result is useful for feeding SOUND-checked data to downstream
+// tools that require regular cadence, while keeping honest holes.
+func Regularize(s Series, dt, maxGap float64) Series {
+	if len(s) == 0 || dt <= 0 {
+		return nil
+	}
+	start, end := s.Span()
+	var out Series
+	j := 0
+	for t := start; t <= end+dt/2; t += dt {
+		// Advance to the segment containing t.
+		for j+1 < len(s) && s[j+1].T < t {
+			j++
+		}
+		switch {
+		case t <= s[0].T:
+			out = append(out, Point{T: t, V: s[0].V, SigUp: s[0].SigUp, SigDown: s[0].SigDown})
+		case j+1 >= len(s):
+			last := s[len(s)-1]
+			if t-last.T < dt/2 {
+				out = append(out, Point{T: t, V: last.V, SigUp: last.SigUp, SigDown: last.SigDown})
+			}
+		default:
+			a, b := s[j], s[j+1]
+			if maxGap > 0 && b.T-a.T > maxGap {
+				continue // honest hole
+			}
+			f := (t - a.T) / (b.T - a.T)
+			out = append(out, Point{
+				T:       t,
+				V:       (1-f)*a.V + f*b.V,
+				SigUp:   (1-f)*a.SigUp + f*b.SigUp,
+				SigDown: (1-f)*a.SigDown + f*b.SigDown,
+			})
+		}
+	}
+	return out
+}
+
+// Diff returns the first-difference series: out[i] = s[i+1] − s[i] in
+// value, stamped at s[i+1].T, with uncertainties added in quadrature
+// (differences of independent measurements).
+func Diff(s Series) Series {
+	if len(s) < 2 {
+		return nil
+	}
+	out := make(Series, len(s)-1)
+	for i := 1; i < len(s); i++ {
+		out[i-1] = Point{
+			T:       s[i].T,
+			V:       s[i].V - s[i-1].V,
+			SigUp:   math.Hypot(s[i].SigUp, s[i-1].SigDown),
+			SigDown: math.Hypot(s[i].SigDown, s[i-1].SigUp),
+		}
+	}
+	return out
+}
+
+// Cumulative returns the running sum of the values, with uncertainties
+// accumulated in quadrature.
+func Cumulative(s Series) Series {
+	out := make(Series, len(s))
+	var sum, varUp, varDown float64
+	for i, p := range s {
+		sum += p.V
+		varUp += p.SigUp * p.SigUp
+		varDown += p.SigDown * p.SigDown
+		out[i] = Point{T: p.T, V: sum, SigUp: math.Sqrt(varUp), SigDown: math.Sqrt(varDown)}
+	}
+	return out
+}

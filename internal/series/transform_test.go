@@ -1,0 +1,182 @@
+package series
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergePreservesOrderAndCount(t *testing.T) {
+	a := Series{{T: 1, V: 1}, {T: 3, V: 3}, {T: 5, V: 5}}
+	b := Series{{T: 2, V: 2}, {T: 4, V: 4}}
+	m := Merge(a, b)
+	if len(m) != 5 {
+		t.Fatalf("merged %d points", len(m))
+	}
+	if !m.Sorted() {
+		t.Error("merge not sorted")
+	}
+	for i, p := range m {
+		if p.V != float64(i+1) {
+			t.Fatalf("merge order wrong: %v", m.Values())
+		}
+	}
+	if got := Merge(); len(got) != 0 {
+		t.Error("empty merge should be empty")
+	}
+}
+
+func TestMergeStableOnTies(t *testing.T) {
+	a := Series{{T: 1, V: 10}}
+	b := Series{{T: 1, V: 20}}
+	m := Merge(a, b)
+	if m[0].V != 10 || m[1].V != 20 {
+		t.Errorf("tie order not stable: %v", m.Values())
+	}
+}
+
+func TestMergeQuickSorted(t *testing.T) {
+	f := func(a, b []float64) bool {
+		mk := func(vals []float64) Series {
+			s := make(Series, 0, len(vals))
+			for _, v := range vals {
+				if math.IsNaN(v) {
+					continue
+				}
+				s = append(s, Point{T: math.Mod(math.Abs(v), 100), V: v})
+			}
+			s.Sort()
+			return s
+		}
+		m := Merge(mk(a), mk(b))
+		return m.Sorted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegularizeInterpolation(t *testing.T) {
+	s := Series{
+		{T: 0, V: 0, SigUp: 1, SigDown: 2},
+		{T: 10, V: 10, SigUp: 3, SigDown: 4},
+	}
+	r := Regularize(s, 2, 0)
+	if len(r) != 6 { // t = 0, 2, 4, 6, 8, 10
+		t.Fatalf("got %d grid points: %v", len(r), r.Times())
+	}
+	// Linear interpolation: value equals timestamp on this ramp.
+	for _, p := range r {
+		if math.Abs(p.V-p.T) > 1e-12 {
+			t.Errorf("point %v not on the ramp", p)
+		}
+	}
+	// Uncertainties interpolate too: midpoint has (1+3)/2 up.
+	mid := r[3] // t=6 → f=0.6: up = 0.4*1+0.6*3 = 2.2
+	if math.Abs(mid.SigUp-2.2) > 1e-12 {
+		t.Errorf("midpoint sigUp = %v", mid.SigUp)
+	}
+}
+
+func TestRegularizeHonestHoles(t *testing.T) {
+	s := Series{
+		{T: 0, V: 0}, {T: 1, V: 1}, {T: 2, V: 2},
+		{T: 50, V: 50}, {T: 51, V: 51},
+	}
+	r := Regularize(s, 1, 5)
+	// Grid points between t=2 and t=50 must be omitted.
+	for _, p := range r {
+		if p.T > 2.5 && p.T < 49.5 {
+			t.Fatalf("interpolated across a gap at t=%v", p.T)
+		}
+	}
+	// Without maxGap the hole is filled.
+	full := Regularize(s, 1, 0)
+	holeFilled := false
+	for _, p := range full {
+		if p.T > 2.5 && p.T < 49.5 {
+			holeFilled = true
+		}
+	}
+	if !holeFilled {
+		t.Error("maxGap=0 should interpolate everywhere")
+	}
+}
+
+func TestRegularizeDegenerate(t *testing.T) {
+	if Regularize(nil, 1, 0) != nil {
+		t.Error("empty input")
+	}
+	if Regularize(Series{{T: 1, V: 2}}, 0, 0) != nil {
+		t.Error("zero dt")
+	}
+	r := Regularize(Series{{T: 1, V: 2}}, 1, 0)
+	if len(r) != 1 || r[0].V != 2 {
+		t.Errorf("single point regularized to %v", r)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := Series{
+		{T: 0, V: 1, SigUp: 3, SigDown: 4},
+		{T: 1, V: 4, SigUp: 0, SigDown: 0},
+		{T: 2, V: 2, SigUp: 0, SigDown: 0},
+	}
+	d := Diff(s)
+	if len(d) != 2 {
+		t.Fatalf("diff length = %d", len(d))
+	}
+	if d[0].V != 3 || d[1].V != -2 {
+		t.Errorf("diff values = %v", d.Values())
+	}
+	// Quadrature: sigUp of first diff = hypot(0, sigDown of prev) = 4.
+	if d[0].SigUp != 4 || d[0].SigDown != 3 {
+		t.Errorf("diff uncertainties = %v", d[0])
+	}
+	if Diff(Series{{T: 1}}) != nil {
+		t.Error("short diff should be nil")
+	}
+}
+
+func TestCumulative(t *testing.T) {
+	s := Series{
+		{T: 0, V: 1, SigUp: 3, SigDown: 0},
+		{T: 1, V: 2, SigUp: 4, SigDown: 0},
+	}
+	c := Cumulative(s)
+	if c[1].V != 3 {
+		t.Errorf("cumulative value = %v", c[1].V)
+	}
+	if c[1].SigUp != 5 { // sqrt(9+16)
+		t.Errorf("cumulative sigUp = %v", c[1].SigUp)
+	}
+	if len(Cumulative(nil)) != 0 {
+		t.Error("empty cumulative")
+	}
+}
+
+func TestDiffCumulativeRoundTrip(t *testing.T) {
+	// Property: Cumulative(Diff(s)) + s[0] recovers s values.
+	f := func(raw []float64) bool {
+		s := make(Series, 0, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			s = append(s, Point{T: float64(i), V: v})
+		}
+		if len(s) < 2 {
+			return true
+		}
+		c := Cumulative(Diff(s))
+		for i, p := range c {
+			if math.Abs(p.V+s[0].V-s[i+1].V) > 1e-6*(1+math.Abs(s[i+1].V)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

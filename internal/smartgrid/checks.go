@@ -1,0 +1,66 @@
+package smartgrid
+
+import (
+	"sound/internal/checker"
+	"sound/internal/core"
+)
+
+// Checks returns the sanity checks S-1..S-5 of Table IV bound to the
+// pipeline series of the smart-grid scenario.
+//
+//	S-1  load in plausible range            unary  point-wise        a <= x <= b
+//	S-2  monotonous increase in work        unary  windowed (tuples) x_i < x_{i+1}
+//	S-3  plug count >= household count      binary windowed (time)   |x| >= |y|
+//	S-4  usage > 0.5 in alerts              unary  point-wise        x > 0.5
+//	S-5  max delta in household usage       unary  windowed (time)   max(x)-min(x) < a
+func Checks(cfg Config) []core.Check {
+	return []core.Check{
+		{
+			Name:        "S-1",
+			Constraint:  core.Range(0, cfg.PeakLoadW*2),
+			SeriesNames: []string{SeriesPlugLoad},
+			Window:      core.PointWindow{},
+		},
+		{
+			Name:        "S-2",
+			Constraint:  s2WorkMonotone(),
+			SeriesNames: []string{SeriesPlug0Work},
+			Window:      core.CountWindow{Size: 8},
+		},
+		{
+			Name:        "S-3",
+			Constraint:  core.CountAtLeast(),
+			SeriesNames: []string{SeriesPlugLoad, SeriesHouseholdLoad},
+			Window:      core.TimeWindow{Size: 120},
+		},
+		{
+			Name:        "S-4",
+			Constraint:  core.GreaterThan(0.5),
+			SeriesNames: []string{SeriesAlerts},
+			Window:      core.PointWindow{},
+		},
+		{
+			Name:        "S-5",
+			Constraint:  core.MaxDelta(0.6),
+			SeriesNames: []string{SeriesHousehold0Usage},
+			Window:      core.TimeWindow{Size: 300},
+		},
+	}
+}
+
+// s2WorkMonotone is the non-strict variant of the monotonicity template:
+// cumulative work readings are quantized, so consecutive readings may
+// repeat the same coarse value; a *decrease* is the integrity violation.
+func s2WorkMonotone() core.Constraint {
+	c := core.MonotonicIncrease(false)
+	c.Name = "S-2-work-monotone"
+	c.Description = "accumulated work must not decrease"
+	return c
+}
+
+// Suite returns the scenario's checker suite: generated pipeline plus the
+// checks bound to it.
+func Suite(cfg Config, seed uint64) *checker.Suite {
+	ds := Generate(cfg, seed)
+	return &checker.Suite{Pipeline: ds.Pipeline, Checks: Checks(cfg)}
+}

@@ -1,0 +1,428 @@
+// Package smartgrid implements the smart-grid analytics scenario (S) of
+// the paper's evaluation (§VI-A): a synthetic substitute for the DEBS
+// Grand Challenge 2014 dataset and the SGA pipeline of Erebus, together
+// with the sanity checks S-1..S-5 of Table IV.
+//
+// The generator reproduces the properties the checks exercise:
+//
+//   - a hierarchical topology house → household → plug,
+//   - per-plug momentary load (W) with sensor uncertainty and daily
+//     usage profiles,
+//   - per-plug cumulative work readings quantized to coarse units (the
+//     paper: "readings of accumulated work are reported only in
+//     coarse-grained units such as kWh"), yielding quantization
+//     uncertainty,
+//   - device outages producing temporal sparsity ("measurement devices
+//     show periods of unavailability").
+package smartgrid
+
+import (
+	"fmt"
+	"math"
+
+	"sound/internal/pipeline"
+	"sound/internal/rng"
+	"sound/internal/series"
+)
+
+// Config parameterizes the synthetic smart-grid workload.
+type Config struct {
+	Houses             int     // number of houses
+	HouseholdsPerHouse int     // households in each house
+	PlugsPerHousehold  int     // plugs in each household
+	DurationSec        float64 // simulated span in seconds
+	ReportEverySec     float64 // nominal reporting period per plug
+	// BaseLoadW and PeakLoadW bound the daily load profile per plug.
+	BaseLoadW, PeakLoadW float64
+	// LoadNoiseFrac is the relative measurement noise of load readings;
+	// it also sets the reported uncertainty.
+	LoadNoiseFrac float64
+	// WorkQuantum is the quantization step of cumulative work readings
+	// (in Wh); the reported uncertainty is the quantization error.
+	WorkQuantum float64
+	// OutageProb is the per-report probability that a plug enters an
+	// outage; OutageMeanSec is the mean outage duration.
+	OutageProb    float64
+	OutageMeanSec float64
+	// FaultProb is the probability that a plug is faulty, reporting
+	// implausible loads occasionally (the anomaly the SGA pipeline
+	// detects).
+	FaultProb float64
+}
+
+// DefaultConfig mirrors a small DEBS-2014-like setup that runs in
+// milliseconds yet exhibits all data-quality issues.
+func DefaultConfig() Config {
+	return Config{
+		Houses:             4,
+		HouseholdsPerHouse: 2,
+		PlugsPerHousehold:  3,
+		DurationSec:        3600, // one simulated hour
+		ReportEverySec:     10,
+		BaseLoadW:          40,
+		PeakLoadW:          400,
+		LoadNoiseFrac:      0.05,
+		WorkQuantum:        10, // Wh
+		OutageProb:         0.01,
+		OutageMeanSec:      120,
+		FaultProb:          0.15,
+	}
+}
+
+// PlugID identifies a plug within the hierarchy.
+type PlugID struct {
+	House, Household, Plug int
+}
+
+func (p PlugID) String() string {
+	return fmt.Sprintf("h%d/hh%d/p%d", p.House, p.Household, p.Plug)
+}
+
+// Reading is one raw measurement event of the generator.
+type Reading struct {
+	ID      PlugID
+	T       float64 // seconds since start
+	LoadW   float64 // momentary load
+	LoadSig float64 // symmetric load uncertainty (σ)
+	WorkWh  float64 // cumulative work, quantized
+	WorkSig float64 // quantization uncertainty (σ)
+	Faulty  bool    // generator-side truth: produced by a faulty plug
+}
+
+// Dataset is a fully generated workload: the raw readings plus the
+// derived series of the SGA pipeline arranged in a pipeline DAG.
+type Dataset struct {
+	Config   Config
+	Readings []Reading
+	Pipeline *pipeline.Pipeline
+}
+
+// Series names in the pipeline DAG (paper Fig. 3, left). The streaming
+// application keys work and usage streams by plug/household; the offline
+// DAG carries the merged streams plus one representative key each
+// (plug0, household0) for the keyed checks S-2 and S-5.
+const (
+	SeriesPlugLoad        = "plug_load"        // raw momentary plug loads (all plugs)
+	SeriesPlugWork        = "plug_work"        // raw cumulative plug work (all plugs)
+	SeriesPlug0Work       = "plug0_work"       // cumulative work of the first plug
+	SeriesHouseholdLoad   = "household_load"   // per-minute household averages
+	SeriesHouseLoad       = "house_load"       // per-minute house averages
+	SeriesPlugUsage       = "plug_usage"       // normalized plug usage
+	SeriesHouseholdUsage  = "household_usage"  // normalized household usage (all households)
+	SeriesHousehold0Usage = "household0_usage" // normalized usage of the first household
+	SeriesDiff            = "diff"             // plug vs household usage difference
+	SeriesAlerts          = "alerts"           // usage values of alert events
+)
+
+// Generate produces the synthetic workload and derives the SGA pipeline
+// series deterministically from seed.
+func Generate(cfg Config, seed uint64) *Dataset {
+	r := rng.New(seed)
+	ds := &Dataset{Config: cfg}
+
+	type plugState struct {
+		id        PlugID
+		workWh    float64
+		outageEnd float64
+		faulty    bool
+		phase     float64 // daily profile phase offset
+		scale     float64 // plug-specific load scale
+	}
+	var plugs []*plugState
+	anyFaulty := false
+	for h := 0; h < cfg.Houses; h++ {
+		for hh := 0; hh < cfg.HouseholdsPerHouse; hh++ {
+			for pl := 0; pl < cfg.PlugsPerHousehold; pl++ {
+				p := &plugState{
+					id:     PlugID{House: h, Household: hh, Plug: pl},
+					faulty: r.Bool(cfg.FaultProb),
+					phase:  r.Float64() * 2 * math.Pi,
+					scale:  0.5 + r.Float64(),
+				}
+				anyFaulty = anyFaulty || p.faulty
+				plugs = append(plugs, p)
+			}
+		}
+	}
+	// The scenario exists to detect faulty plugs; guarantee at least one
+	// whenever faults are enabled at all.
+	if !anyFaulty && cfg.FaultProb > 0 && len(plugs) > 0 {
+		plugs[r.Intn(len(plugs))].faulty = true
+	}
+
+	for t := 0.0; t < cfg.DurationSec; t += cfg.ReportEverySec {
+		for _, p := range plugs {
+			if t < p.outageEnd {
+				continue // sparsity: the device is down
+			}
+			if r.Bool(cfg.OutageProb) {
+				p.outageEnd = t + r.ExpFloat64()*cfg.OutageMeanSec
+				continue
+			}
+			// Daily profile: sinusoid over a compressed "day" equal to
+			// the simulated duration, plus noise.
+			frac := t / cfg.DurationSec
+			profile := 0.5 + 0.5*math.Sin(2*math.Pi*frac+p.phase)
+			load := cfg.BaseLoadW + (cfg.PeakLoadW-cfg.BaseLoadW)*profile*p.scale
+			if p.faulty && r.Bool(0.08) {
+				// Fault: implausible spike or dropout.
+				if r.Bool(0.5) {
+					load *= 8
+				} else {
+					load = -5 // impossible negative reading
+				}
+			}
+			sig := math.Abs(load) * cfg.LoadNoiseFrac
+			noisy := load + r.NormFloat64()*sig
+			// Faulty plugs occasionally glitch their meter, resetting
+			// the cumulative work counter — the integrity defect S-2
+			// ("accumulated work needs to increase monotonically")
+			// exists to catch.
+			if p.faulty && r.Bool(0.01) {
+				p.workWh = 0
+			}
+			// Work integrates the true load; the reading is quantized.
+			p.workWh += load * cfg.ReportEverySec / 3600
+			quantized := math.Floor(p.workWh/cfg.WorkQuantum) * cfg.WorkQuantum
+			ds.Readings = append(ds.Readings, Reading{
+				ID: p.id, T: t,
+				LoadW: noisy, LoadSig: sig,
+				WorkWh: quantized, WorkSig: cfg.WorkQuantum / math.Sqrt(12),
+				Faulty: p.faulty,
+			})
+		}
+	}
+
+	ds.Pipeline = derivePipeline(ds)
+	return ds
+}
+
+// derivePipeline computes the SGA pipeline series from the raw readings
+// and arranges them in the provenance DAG of paper Fig. 3 (left).
+func derivePipeline(ds *Dataset) *pipeline.Pipeline {
+	cfg := ds.Config
+	p := pipeline.New()
+
+	var plugLoad, plugWork series.Series
+	perPlugWork := map[PlugID]series.Series{}
+	var faultyPlug *PlugID
+	var firstPlug *PlugID
+	for _, rd := range ds.Readings {
+		plugLoad = append(plugLoad, series.Point{T: rd.T, V: rd.LoadW, SigUp: rd.LoadSig, SigDown: rd.LoadSig})
+		wp := series.Point{T: rd.T, V: rd.WorkWh, SigUp: rd.WorkSig, SigDown: rd.WorkSig}
+		plugWork = append(plugWork, wp)
+		perPlugWork[rd.ID] = append(perPlugWork[rd.ID], wp)
+		if firstPlug == nil {
+			id := rd.ID
+			firstPlug = &id
+		}
+		if rd.Faulty && faultyPlug == nil {
+			id := rd.ID
+			faultyPlug = &id
+		}
+	}
+	plugLoad.Sort()
+	plugWork.Sort()
+	p.AddSeries(SeriesPlugLoad, plugLoad)
+	p.AddSeries(SeriesPlugWork, plugWork)
+
+	// Representative keyed work stream for S-2: prefer a faulty plug so
+	// the meter-reset defect is observable.
+	rep := firstPlug
+	if faultyPlug != nil {
+		rep = faultyPlug
+	}
+	if rep != nil {
+		p.AddSeries(SeriesPlug0Work, perPlugWork[*rep])
+	} else {
+		p.AddSeries(SeriesPlug0Work, series.Series{})
+	}
+
+	// Minute averages per household and per house.
+	householdLoad := minuteAverages(ds, func(rd Reading) string {
+		return fmt.Sprintf("h%d/hh%d", rd.ID.House, rd.ID.Household)
+	})
+	houseLoad := minuteAverages(ds, func(rd Reading) string {
+		return fmt.Sprintf("h%d", rd.ID.House)
+	})
+	p.AddSeries(SeriesHouseholdLoad, householdLoad)
+	p.AddSeries(SeriesHouseLoad, houseLoad)
+
+	// Usage normalization: load relative to the configured peak.
+	norm := func(s series.Series) series.Series {
+		out := s.Clone()
+		for i := range out {
+			out[i].V /= cfg.PeakLoadW
+			out[i].SigUp /= cfg.PeakLoadW
+			out[i].SigDown /= cfg.PeakLoadW
+		}
+		return out
+	}
+	plugUsage := norm(plugLoad)
+	householdUsage := norm(householdLoad)
+	p.AddSeries(SeriesPlugUsage, plugUsage)
+	p.AddSeries(SeriesHouseholdUsage, householdUsage)
+
+	// Representative keyed usage stream for S-5: the first household.
+	p.AddSeries(SeriesHousehold0Usage, norm(minuteAveragesFiltered(ds, func(rd Reading) bool {
+		return rd.ID.House == 0 && rd.ID.Household == 0
+	})))
+
+	// Diff: per-minute difference between mean plug usage and household
+	// usage (the load comparison driving alerts).
+	diff := diffSeries(plugUsage, householdUsage, 60)
+	p.AddSeries(SeriesDiff, diff)
+
+	// Alerts: an alert fires whenever the plug-vs-household usage diff
+	// exceeds a threshold; the alert event carries the household usage
+	// at that moment. The S-4 check ("usage > 0.5 in alerts") asserts
+	// that alerts only fire under high load — borderline usage values
+	// around 0.5 make this the paper's showcase check for Fig. 7.
+	var alerts series.Series
+	for _, d := range diff {
+		if math.Abs(d.V) <= 0.008 {
+			continue
+		}
+		w := householdUsage.SliceTime(d.T, d.T+60)
+		if len(w) == 0 {
+			continue
+		}
+		mean, _ := w.Mean()
+		sig := w.MeanRelUncertainty() * math.Abs(mean)
+		// Alerts inherit extra uncertainty from the triggering diff.
+		sig += d.SigUp
+		alerts = append(alerts, series.Point{T: d.T, V: mean, SigUp: sig, SigDown: sig})
+	}
+	p.AddSeries(SeriesAlerts, alerts)
+
+	mustConnect(p, SeriesPlugWork, "select-plug", SeriesPlug0Work)
+	mustConnect(p, SeriesPlugLoad, "minute-avg", SeriesHouseholdLoad)
+	mustConnect(p, SeriesPlugLoad, "minute-avg", SeriesHouseLoad)
+	mustConnect(p, SeriesPlugLoad, "normalize", SeriesPlugUsage)
+	mustConnect(p, SeriesHouseholdLoad, "normalize", SeriesHouseholdUsage)
+	mustConnect(p, SeriesHouseholdUsage, "select-household", SeriesHousehold0Usage)
+	mustConnect(p, SeriesPlugUsage, "compare", SeriesDiff)
+	mustConnect(p, SeriesHouseholdUsage, "compare", SeriesDiff)
+	mustConnect(p, SeriesDiff, "alert", SeriesAlerts)
+	return p
+}
+
+func mustConnect(p *pipeline.Pipeline, from, op, to string) {
+	if err := p.Connect(from, op, to); err != nil {
+		panic(err)
+	}
+}
+
+// minuteAveragesFiltered computes minute averages over the readings
+// matching keep, as a single time-sorted series.
+func minuteAveragesFiltered(ds *Dataset, keep func(Reading) bool) series.Series {
+	type agg struct {
+		sum, sig float64
+		n        int
+	}
+	buckets := map[int64]*agg{}
+	for _, rd := range ds.Readings {
+		if !keep(rd) {
+			continue
+		}
+		minute := int64(rd.T / 60)
+		a := buckets[minute]
+		if a == nil {
+			a = &agg{}
+			buckets[minute] = a
+		}
+		a.sum += rd.LoadW
+		a.sig += rd.LoadSig
+		a.n++
+	}
+	var out series.Series
+	for minute, a := range buckets {
+		n := float64(a.n)
+		out = append(out, series.Point{
+			T:       float64(minute) * 60,
+			V:       a.sum / n,
+			SigUp:   a.sig / n / math.Sqrt(n),
+			SigDown: a.sig / n / math.Sqrt(n),
+		})
+	}
+	out.Sort()
+	return out
+}
+
+// minuteAverages groups readings by (minute, group key) and emits the
+// mean load per group-minute as one combined series sorted by time.
+func minuteAverages(ds *Dataset, key func(Reading) string) series.Series {
+	type agg struct {
+		sum, sig float64
+		n        int
+	}
+	buckets := map[int64]map[string]*agg{}
+	for _, rd := range ds.Readings {
+		minute := int64(rd.T / 60)
+		byKey := buckets[minute]
+		if byKey == nil {
+			byKey = map[string]*agg{}
+			buckets[minute] = byKey
+		}
+		k := key(rd)
+		a := byKey[k]
+		if a == nil {
+			a = &agg{}
+			byKey[k] = a
+		}
+		a.sum += rd.LoadW
+		a.sig += rd.LoadSig
+		a.n++
+	}
+	var out series.Series
+	for minute, byKey := range buckets {
+		for _, a := range byKey {
+			n := float64(a.n)
+			out = append(out, series.Point{
+				T:       float64(minute) * 60,
+				V:       a.sum / n,
+				SigUp:   a.sig / n / math.Sqrt(n),
+				SigDown: a.sig / n / math.Sqrt(n),
+			})
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// diffSeries computes per-bucket mean(a) − mean(b) over time buckets of
+// the given size, propagating combined uncertainty.
+func diffSeries(a, b series.Series, bucket float64) series.Series {
+	var out series.Series
+	if len(a) == 0 && len(b) == 0 {
+		return out
+	}
+	start := math.Min(firstT(a), firstT(b))
+	end := math.Max(lastT(a), lastT(b))
+	for t := start; t <= end; t += bucket {
+		wa := a.SliceTime(t, t+bucket)
+		wb := b.SliceTime(t, t+bucket)
+		if len(wa) == 0 || len(wb) == 0 {
+			continue
+		}
+		ma, _ := wa.Mean()
+		mb, _ := wb.Mean()
+		sig := (wa.MeanRelUncertainty()*math.Abs(ma) + wb.MeanRelUncertainty()*math.Abs(mb)) / 2
+		out = append(out, series.Point{T: t, V: ma - mb, SigUp: sig, SigDown: sig})
+	}
+	return out
+}
+
+func firstT(s series.Series) float64 {
+	if len(s) == 0 {
+		return math.Inf(1)
+	}
+	return s[0].T
+}
+
+func lastT(s series.Series) float64 {
+	if len(s) == 0 {
+		return math.Inf(-1)
+	}
+	return s[len(s)-1].T
+}

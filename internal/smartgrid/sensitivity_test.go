@@ -1,0 +1,114 @@
+package smartgrid
+
+import (
+	"testing"
+
+	"sound/internal/core"
+)
+
+// Sensitivity tests: the generator's quality knobs must move outcomes in
+// the directions the paper's analysis predicts.
+
+func sensitivityConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Houses = 3
+	cfg.DurationSec = 1800
+	return cfg
+}
+
+func TestOutagesCreateSparsity(t *testing.T) {
+	quiet := sensitivityConfig()
+	quiet.OutageProb = 0
+	flaky := sensitivityConfig()
+	flaky.OutageProb = 0.05
+	flaky.OutageMeanSec = 300
+
+	readings := func(cfg Config) int { return len(Generate(cfg, 5).Readings) }
+	if rQ, rF := readings(quiet), readings(flaky); rF >= rQ {
+		t.Errorf("outages did not thin the data: %d vs %d readings", rQ, rF)
+	}
+}
+
+func TestCoarserQuantizationWidensWorkUncertainty(t *testing.T) {
+	fine := sensitivityConfig()
+	fine.WorkQuantum = 1
+	coarse := sensitivityConfig()
+	coarse.WorkQuantum = 100
+
+	sig := func(cfg Config) float64 {
+		ds := Generate(cfg, 5)
+		return ds.Readings[0].WorkSig
+	}
+	if sF, sC := sig(fine), sig(coarse); sC <= sF {
+		t.Errorf("quantization sigma: fine %v vs coarse %v", sF, sC)
+	}
+}
+
+func TestNoiseDrivesS1Inconclusiveness(t *testing.T) {
+	precise := sensitivityConfig()
+	precise.LoadNoiseFrac = 0.005
+	noisy := sensitivityConfig()
+	noisy.LoadNoiseFrac = 0.6
+
+	inconclusive := func(cfg Config) (n, total int) {
+		for seed := uint64(0); seed < 3; seed++ {
+			suite := Suite(cfg, seed)
+			results, err := suite.Run(core.Params{Credibility: 0.95, MaxSamples: 100}, seed+9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range results["S-1"] {
+				total++
+				if r.Outcome == core.Inconclusive {
+					n++
+				}
+			}
+		}
+		return
+	}
+	nP, tP := inconclusive(precise)
+	nN, tN := inconclusive(noisy)
+	rP := float64(nP) / float64(tP)
+	rN := float64(nN) / float64(tN)
+	if rN <= rP {
+		t.Errorf("S-1 inconclusive ratio did not grow with noise: %.4f -> %.4f", rP, rN)
+	}
+}
+
+func TestFaultProbDrivesS1Violations(t *testing.T) {
+	healthy := sensitivityConfig()
+	healthy.FaultProb = 0 // guarantee only applies when FaultProb > 0
+	broken := sensitivityConfig()
+	broken.FaultProb = 0.9
+
+	violations := func(cfg Config) int {
+		n := 0
+		for seed := uint64(0); seed < 3; seed++ {
+			suite := Suite(cfg, seed)
+			results, err := suite.Run(core.Params{Credibility: 0.95, MaxSamples: 100}, seed+11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range results["S-1"] {
+				if r.Outcome == core.Violated {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if vH, vB := violations(healthy), violations(broken); vB <= vH {
+		t.Errorf("faults did not raise S-1 violations: %d vs %d", vH, vB)
+	}
+}
+
+func TestFaultProbZeroMeansNoFaultyPlugs(t *testing.T) {
+	cfg := sensitivityConfig()
+	cfg.FaultProb = 0
+	ds := Generate(cfg, 13)
+	for _, rd := range ds.Readings {
+		if rd.Faulty {
+			t.Fatal("FaultProb=0 produced a faulty plug")
+		}
+	}
+}

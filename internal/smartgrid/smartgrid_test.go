@@ -1,0 +1,198 @@
+package smartgrid
+
+import (
+	"reflect"
+	"testing"
+
+	"sound/internal/core"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Houses = 2
+	cfg.DurationSec = 900
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(), 42)
+	b := Generate(smallConfig(), 42)
+	if len(a.Readings) != len(b.Readings) {
+		t.Fatalf("reading counts differ: %d vs %d", len(a.Readings), len(b.Readings))
+	}
+	for i := range a.Readings {
+		if a.Readings[i] != b.Readings[i] {
+			t.Fatalf("readings diverge at %d", i)
+		}
+	}
+	c := Generate(smallConfig(), 43)
+	if len(a.Readings) == len(c.Readings) {
+		same := true
+		for i := range a.Readings {
+			if a.Readings[i] != c.Readings[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical data")
+		}
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	cfg := smallConfig()
+	ds := Generate(cfg, 7)
+	if len(ds.Readings) == 0 {
+		t.Fatal("no readings generated")
+	}
+	plugs := map[PlugID]bool{}
+	lastWork := map[PlugID]float64{}
+	anySparsity := false
+	expected := int(cfg.DurationSec / cfg.ReportEverySec)
+	perPlug := map[PlugID]int{}
+	for _, rd := range ds.Readings {
+		plugs[rd.ID] = true
+		perPlug[rd.ID]++
+		if rd.LoadSig <= 0 {
+			t.Fatalf("non-positive load uncertainty at %v", rd)
+		}
+		// Work readings are non-decreasing per plug, except for the
+		// meter-reset glitches of faulty plugs (the defect S-2 catches).
+		if w, ok := lastWork[rd.ID]; ok && rd.WorkWh < w && !rd.Faulty {
+			t.Fatalf("work decreased for healthy plug %v: %v -> %v", rd.ID, w, rd.WorkWh)
+		}
+		lastWork[rd.ID] = rd.WorkWh
+	}
+	want := cfg.Houses * cfg.HouseholdsPerHouse * cfg.PlugsPerHousehold
+	if len(plugs) != want {
+		t.Errorf("saw %d plugs, want %d", len(plugs), want)
+	}
+	for id, n := range perPlug {
+		if n < expected {
+			anySparsity = true
+		}
+		if n > expected {
+			t.Errorf("plug %v has %d readings, more than the %d slots", id, n, expected)
+		}
+	}
+	if !anySparsity {
+		t.Error("no outage-induced sparsity in any plug")
+	}
+}
+
+func TestPipelineDAGStructure(t *testing.T) {
+	ds := Generate(smallConfig(), 9)
+	p := ds.Pipeline
+	for _, name := range []string{
+		SeriesPlugLoad, SeriesPlugWork, SeriesHouseholdLoad, SeriesHouseLoad,
+		SeriesPlugUsage, SeriesHouseholdUsage, SeriesDiff, SeriesAlerts,
+	} {
+		if _, ok := p.Series(name); !ok {
+			t.Errorf("pipeline missing series %q", name)
+		}
+	}
+	if got := p.Predecessors(SeriesDiff); !reflect.DeepEqual(got, []string{SeriesHouseholdUsage, SeriesPlugUsage}) {
+		t.Errorf("•diff = %v", got)
+	}
+	if got := p.Upstream(SeriesAlerts); len(got) < 4 {
+		t.Errorf("upstream(alerts) = %v", got)
+	}
+	// plug_work is a source with no downstream in this DAG.
+	if got := p.Predecessors(SeriesPlugWork); len(got) != 0 {
+		t.Errorf("•plug_work = %v", got)
+	}
+}
+
+func TestChecksClassification(t *testing.T) {
+	cks := Checks(DefaultConfig())
+	if len(cks) != 5 {
+		t.Fatalf("got %d checks", len(cks))
+	}
+	for _, ck := range cks {
+		if err := ck.Validate(); err != nil {
+			t.Errorf("%s: %v", ck.Name, err)
+		}
+	}
+	// Table IV classifications.
+	if cks[0].Constraint.Granularity != core.PointWise {
+		t.Error("S-1 should be point-wise")
+	}
+	if cks[1].Constraint.Granularity != core.WindowIndex || !cks[1].Constraint.Orderedness.Ordered() {
+		t.Error("S-2 should be tuple-windowed sequence")
+	}
+	if cks[2].Constraint.Arity != 2 || cks[2].Constraint.Orderedness.Ordered() {
+		t.Error("S-3 should be binary set")
+	}
+	if cks[3].Constraint.Granularity != core.PointWise {
+		t.Error("S-4 should be point-wise")
+	}
+	if cks[4].Constraint.Granularity != core.WindowTime || cks[4].Constraint.Orderedness.Ordered() {
+		t.Error("S-5 should be time-windowed set")
+	}
+}
+
+func TestSuiteRunsAllChecks(t *testing.T) {
+	s := Suite(smallConfig(), 11)
+	results, err := s.Run(core.Params{Credibility: 0.95, MaxSamples: 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ck := range s.Checks {
+		if len(results[ck.Name]) == 0 {
+			t.Errorf("check %s produced no results", ck.Name)
+		}
+	}
+	// S-2: quantized work is non-decreasing; the non-strict check on the
+	// per-plug-interleaved series may still see decreases across plugs,
+	// but most windows should not be confidently violated... S-1 with
+	// faulty plugs must find at least one violation.
+	counts := map[string]int{}
+	for _, r := range results["S-1"] {
+		counts[r.Outcome.String()]++
+	}
+	if counts["⊥"] == 0 {
+		t.Errorf("S-1 found no violations despite faulty plugs: %v", counts)
+	}
+	if counts["⊤"] == 0 {
+		t.Errorf("S-1 found no satisfied windows: %v", counts)
+	}
+}
+
+func TestStreamAppModes(t *testing.T) {
+	cfg := smallConfig()
+	for _, mode := range []Mode{BaseNom, BaseCheck, Sound} {
+		app := BuildStream(cfg, mode, core.Params{Credibility: 0.95, MaxSamples: 20}, 2, 5000, 3)
+		m, err := app.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if got := m.Count(app.SinkName); got != 5000 {
+			t.Errorf("%v: raw volume sink saw %d events, want 5000", mode, got)
+		}
+		if mode == BaseNom && len(app.Outcomes) != 0 {
+			t.Errorf("BASE_NOM should have no check outcomes")
+		}
+		if mode != BaseNom {
+			if out := app.Outcomes["S-1"]; out == nil || out.Counts().Total() == 0 {
+				t.Errorf("%v: S-1 evaluated no windows", mode)
+			}
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if BaseNom.String() != "BASE_NOM" || BaseCheck.String() != "BASE_CHECK" || Sound.String() != "SOUND" {
+		t.Error("bad mode strings")
+	}
+	if Mode(9).String() != "unknown" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestPlugIDString(t *testing.T) {
+	id := PlugID{House: 1, Household: 2, Plug: 3}
+	if id.String() != "h1/hh2/p3" {
+		t.Errorf("PlugID string = %q", id)
+	}
+}

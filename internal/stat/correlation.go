@@ -1,0 +1,126 @@
+package stat
+
+import "math"
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples x and y. It returns NaN when the lengths differ, fewer than two
+// pairs are given, or either sample has zero variance.
+//
+// It is the correlation measure of the "linear correlations" constraint
+// template (paper §IV-C) and of check A-4.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// RSquared returns the coefficient of determination of predictions pred
+// against ground truth obs:
+//
+//	R² = 1 − Σ(obs−pred)² / Σ(obs−mean(obs))²
+//
+// It implements the "explained variances" template (paper §IV-C). It
+// returns NaN when lengths differ, the sample is empty, or the ground
+// truth has zero variance (residual comparison is meaningless then).
+// R² may be negative when predictions are worse than the mean predictor.
+func RSquared(obs, pred []float64) float64 {
+	n := len(obs)
+	if n != len(pred) || n == 0 {
+		return math.NaN()
+	}
+	m := Mean(obs)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		r := obs[i] - pred[i]
+		d := obs[i] - m
+		ssRes += r * r
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Spearman returns the Spearman rank correlation of x and y, the Pearson
+// correlation of their rank transforms with mid-rank ties. Offered as an
+// alternative correlation measure for constraint templates on monotone
+// rather than linear relationships.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks returns 1-based ranks of xs with ties assigned mid-ranks.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// insertion-free sort of indices by value
+	quickSortIdx(xs, idx)
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func quickSortIdx(vals []float64, idx []int) {
+	if len(idx) < 2 {
+		return
+	}
+	// median-of-three pivot on values
+	lo, hi := 0, len(idx)-1
+	mid := lo + (hi-lo)/2
+	if vals[idx[mid]] < vals[idx[lo]] {
+		idx[mid], idx[lo] = idx[lo], idx[mid]
+	}
+	if vals[idx[hi]] < vals[idx[lo]] {
+		idx[hi], idx[lo] = idx[lo], idx[hi]
+	}
+	if vals[idx[hi]] < vals[idx[mid]] {
+		idx[hi], idx[mid] = idx[mid], idx[hi]
+	}
+	pivot := vals[idx[mid]]
+	i, j := lo, hi
+	for i <= j {
+		for vals[idx[i]] < pivot {
+			i++
+		}
+		for vals[idx[j]] > pivot {
+			j--
+		}
+		if i <= j {
+			idx[i], idx[j] = idx[j], idx[i]
+			i++
+			j--
+		}
+	}
+	quickSortIdx(vals, idx[:j+1])
+	quickSortIdx(vals, idx[i:])
+}

@@ -1,0 +1,130 @@
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult holds the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	Statistic float64 // sup |F1 - F2|
+	PValue    float64 // asymptotic two-sided p-value
+}
+
+// KSTest2Samp performs the two-sample Kolmogorov–Smirnov test on x and y.
+// It is the default change constraint φ²_change of SOUND (paper §V-C):
+// a violation window differs from its satisfied neighbour when
+// p_value < α = 1 − c.
+//
+// The p-value uses the Kolmogorov asymptotic distribution with the
+// effective sample size n·m/(n+m), matching scipy's mode="asymp".
+// Empty inputs yield Statistic 0 and PValue 1 (no evidence of change).
+func KSTest2Samp(x, y []float64) KSResult {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return KSResult{Statistic: 0, PValue: 1}
+	}
+	xs := make([]float64, n)
+	copy(xs, x)
+	sort.Float64s(xs)
+	ys := make([]float64, m)
+	copy(ys, y)
+	sort.Float64s(ys)
+
+	d := 0.0
+	i, j := 0, 0
+	for i < n && j < m {
+		v := math.Min(xs[i], ys[j])
+		for i < n && xs[i] <= v {
+			i++
+		}
+		for j < m && ys[j] <= v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(n) - float64(j)/float64(m))
+		if diff > d {
+			d = diff
+		}
+	}
+	en := math.Sqrt(float64(n) * float64(m) / float64(n+m))
+	p := ksPValue((en + 0.12 + 0.11/en) * d)
+	return KSResult{Statistic: d, PValue: p}
+}
+
+// ksPValue evaluates Q_KS(λ) = 2 Σ_{k>=1} (−1)^{k−1} e^{−2 k² λ²},
+// the Kolmogorov survival function.
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const (
+		maxTerms = 101
+		eps1     = 1e-6  // relative
+		eps2     = 1e-16 // absolute vs running sum
+	)
+	a2 := -2 * lambda * lambda
+	sum := 0.0
+	sign := 1.0
+	prev := 0.0
+	for k := 1; k < maxTerms; k++ {
+		term := sign * math.Exp(a2*float64(k)*float64(k))
+		sum += term
+		if math.Abs(term) <= eps1*prev || math.Abs(term) <= eps2*sum {
+			p := 2 * sum
+			if p < 0 {
+				return 0
+			}
+			if p > 1 {
+				return 1
+			}
+			return p
+		}
+		sign = -sign
+		prev = math.Abs(term)
+	}
+	return 1 // failed to converge: no evidence
+}
+
+// KLDivergence returns the Kullback–Leibler divergence D(p || q) between
+// two empirical distributions estimated from samples x and y via
+// histograms with bins equal-width bins over the combined range. A small
+// Laplace smoothing avoids infinities for empty bins. NaN for empty input
+// or bins < 1.
+func KLDivergence(x, y []float64, bins int) float64 {
+	if len(x) == 0 || len(y) == 0 || bins < 1 {
+		return math.NaN()
+	}
+	lo := math.Min(Min(x), Min(y))
+	hi := math.Max(Max(x), Max(y))
+	if hi == lo {
+		return 0
+	}
+	hx := histogram(x, lo, hi, bins)
+	hy := histogram(y, lo, hi, bins)
+	const smooth = 0.5
+	nx := float64(len(x)) + smooth*float64(bins)
+	ny := float64(len(y)) + smooth*float64(bins)
+	d := 0.0
+	for i := 0; i < bins; i++ {
+		p := (float64(hx[i]) + smooth) / nx
+		q := (float64(hy[i]) + smooth) / ny
+		d += p * math.Log(p/q)
+	}
+	return d
+}
+
+func histogram(xs []float64, lo, hi float64, bins int) []int {
+	h := make([]int, bins)
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		h[i]++
+	}
+	return h
+}

@@ -1,0 +1,164 @@
+package stat
+
+import (
+	"math"
+	"testing"
+
+	"sound/internal/rng"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	res := KSTest2Samp(x, x)
+	if res.Statistic != 0 {
+		t.Errorf("D = %v for identical samples", res.Statistic)
+	}
+	if res.PValue < 0.99 {
+		t.Errorf("p = %v for identical samples", res.PValue)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i) + 1000
+	}
+	res := KSTest2Samp(x, y)
+	if res.Statistic != 1 {
+		t.Errorf("D = %v for disjoint samples, want 1", res.Statistic)
+	}
+	if res.PValue > 1e-10 {
+		t.Errorf("p = %v for disjoint samples", res.PValue)
+	}
+}
+
+func TestKSEmptyInput(t *testing.T) {
+	res := KSTest2Samp(nil, []float64{1, 2})
+	if res.Statistic != 0 || res.PValue != 1 {
+		t.Errorf("empty input gave %+v", res)
+	}
+}
+
+func TestKSStatisticBounds(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(50)
+		m := 1 + r.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64() + 2*r.Float64()
+		}
+		res := KSTest2Samp(x, y)
+		if res.Statistic < 0 || res.Statistic > 1 {
+			t.Fatalf("D = %v outside [0,1]", res.Statistic)
+		}
+		if res.PValue < 0 || res.PValue > 1 {
+			t.Fatalf("p = %v outside [0,1]", res.PValue)
+		}
+	}
+}
+
+func TestKSSameDistributionRarelyRejects(t *testing.T) {
+	r := rng.New(6)
+	rejected := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 60)
+		y := make([]float64, 60)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		if KSTest2Samp(x, y).PValue < 0.05 {
+			rejected++
+		}
+	}
+	// Expect ~5% rejections; allow generous slack (asymptotic p-values
+	// are slightly conservative at this sample size).
+	if frac := float64(rejected) / trials; frac > 0.10 {
+		t.Errorf("same-distribution rejection rate = %v", frac)
+	}
+}
+
+func TestKSShiftedDistributionRejects(t *testing.T) {
+	r := rng.New(7)
+	rejected := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 80)
+		y := make([]float64, 80)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64() + 1.5
+		}
+		if KSTest2Samp(x, y).PValue < 0.05 {
+			rejected++
+		}
+	}
+	if frac := float64(rejected) / trials; frac < 0.95 {
+		t.Errorf("shifted-distribution rejection rate = %v, want near 1", frac)
+	}
+}
+
+func TestKSReferenceValue(t *testing.T) {
+	// scipy.stats.ks_2samp([1..5], [3..7], mode='asymp'):
+	// statistic = 0.4
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 4, 5, 6, 7}
+	res := KSTest2Samp(x, y)
+	if !close(res.Statistic, 0.4, 1e-12) {
+		t.Errorf("D = %v, want 0.4", res.Statistic)
+	}
+	if res.PValue < 0.5 {
+		t.Errorf("p = %v, small samples should not reject", res.PValue)
+	}
+}
+
+func TestKSSymmetric(t *testing.T) {
+	x := []float64{0.1, 0.5, 0.9, 1.5}
+	y := []float64{0.2, 0.3, 1.1, 2.2, 3.3}
+	a := KSTest2Samp(x, y)
+	b := KSTest2Samp(y, x)
+	if a.Statistic != b.Statistic || a.PValue != b.PValue {
+		t.Errorf("KS not symmetric: %+v vs %+v", a, b)
+	}
+}
+
+func TestKLDivergenceProperties(t *testing.T) {
+	r := rng.New(8)
+	x := make([]float64, 500)
+	y := make([]float64, 500)
+	z := make([]float64, 500)
+	for i := range x {
+		x[i] = r.NormFloat64()
+		y[i] = r.NormFloat64()
+		z[i] = r.NormFloat64() + 3
+	}
+	same := KLDivergence(x, y, 20)
+	diff := KLDivergence(x, z, 20)
+	if same < 0 {
+		// Histogram KL with smoothing can dip slightly below zero only
+		// through numerical error; it should be essentially non-negative.
+		if same < -1e-9 {
+			t.Errorf("KL(same) = %v", same)
+		}
+	}
+	if diff <= same {
+		t.Errorf("KL(shifted)=%v should exceed KL(same)=%v", diff, same)
+	}
+}
+
+func TestKLDivergenceDegenerate(t *testing.T) {
+	if got := KLDivergence(nil, []float64{1}, 10); !math.IsNaN(got) {
+		t.Errorf("empty input KL = %v", got)
+	}
+	if got := KLDivergence([]float64{2, 2}, []float64{2, 2}, 10); got != 0 {
+		t.Errorf("constant equal samples KL = %v", got)
+	}
+}

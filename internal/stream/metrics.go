@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics aggregates sink-side measurements of a graph run: event counts,
+// wall-clock duration, per-bucket throughput over time, and event
+// latencies (wall-clock delay from source emission to sink ingestion),
+// matching the evaluation metrics of paper §VI-A.
+type Metrics struct {
+	mu       sync.Mutex
+	began    time.Time
+	ended    time.Time
+	counts   map[string]int64
+	buckets  map[string]map[int64]int64 // sink -> bucket index -> count
+	latency  map[string][]float64       // sink -> sampled latencies (seconds)
+	bucketNS int64
+	sampleN  int64 // record every sampleN-th latency
+	seen     map[string]int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		counts:   map[string]int64{},
+		buckets:  map[string]map[int64]int64{},
+		latency:  map[string][]float64{},
+		seen:     map[string]int64{},
+		bucketNS: int64(100 * time.Millisecond),
+		sampleN:  16,
+	}
+}
+
+func (m *Metrics) start() { m.began = time.Now() }
+func (m *Metrics) stop()  { m.ended = time.Now() }
+
+func (m *Metrics) record(sink string, ev Event) {
+	now := time.Now()
+	m.mu.Lock()
+	m.counts[sink]++
+	b := m.buckets[sink]
+	if b == nil {
+		b = map[int64]int64{}
+		m.buckets[sink] = b
+	}
+	b[now.Sub(m.began).Nanoseconds()/m.bucketNS]++
+	m.seen[sink]++
+	if !ev.Created.IsZero() && m.seen[sink]%m.sampleN == 0 {
+		m.latency[sink] = append(m.latency[sink], now.Sub(ev.Created).Seconds())
+	}
+	m.mu.Unlock()
+}
+
+// Duration returns the wall-clock run time.
+func (m *Metrics) Duration() time.Duration { return m.ended.Sub(m.began) }
+
+// Count returns the number of events that reached the named sink.
+func (m *Metrics) Count(sink string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[sink]
+}
+
+// TotalCount returns the events across all sinks.
+func (m *Metrics) TotalCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, c := range m.counts {
+		total += c
+	}
+	return total
+}
+
+// Throughput returns events per second at the named sink over the whole
+// run (zero duration yields 0).
+func (m *Metrics) Throughput(sink string) float64 {
+	d := m.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(m.Count(sink)) / d
+}
+
+// ThroughputSeries returns (bucket time offset seconds, events/sec) pairs
+// for the named sink, with the first warmup fraction of buckets trimmed
+// (the paper trims a warm-up period of 15% of the experiment duration).
+type ThroughputPoint struct {
+	Offset    float64 // seconds since run start
+	PerSecond float64
+}
+
+// ThroughputOverTime returns the bucketized throughput series.
+func (m *Metrics) ThroughputOverTime(sink string, warmupFrac float64) []ThroughputPoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.buckets[sink]
+	if len(b) == 0 {
+		return nil
+	}
+	idxs := make([]int64, 0, len(b))
+	for i := range b {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	maxIdx := idxs[len(idxs)-1]
+	cut := int64(float64(maxIdx) * warmupFrac)
+	bucketSec := float64(m.bucketNS) / 1e9
+	var out []ThroughputPoint
+	for _, i := range idxs {
+		if i < cut {
+			continue
+		}
+		out = append(out, ThroughputPoint{
+			Offset:    float64(i) * bucketSec,
+			PerSecond: float64(b[i]) / bucketSec,
+		})
+	}
+	return out
+}
+
+// Latencies returns the sampled latencies (seconds) at the named sink,
+// with the first warmupFrac fraction of samples trimmed.
+func (m *Metrics) Latencies(sink string, warmupFrac float64) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.latency[sink]
+	cut := int(float64(len(ls)) * warmupFrac)
+	out := make([]float64, len(ls)-cut)
+	copy(out, ls[cut:])
+	return out
+}
+
+// MeanLatency returns the mean sampled latency in seconds after warm-up
+// trimming, or 0 when nothing was sampled.
+func (m *Metrics) MeanLatency(sink string, warmupFrac float64) float64 {
+	ls := m.Latencies(sink, warmupFrac)
+	if len(ls) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range ls {
+		sum += l
+	}
+	return sum / float64(len(ls))
+}
+
+// Sinks returns the names of sinks that received events, sorted.
+func (m *Metrics) Sinks() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.counts))
+	for s := range m.counts {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

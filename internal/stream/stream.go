@@ -1,0 +1,447 @@
+// Package stream is a small dataflow engine substituting for Apache Flink
+// in the paper's evaluation setup (§VI-A). It executes a DAG of operators
+// over event streams with per-operator worker parallelism, bounded
+// channels for backpressure, optional key-hash partitioning, and built-in
+// throughput/latency measurement at the sinks.
+//
+// The engine intentionally mirrors the execution shape the paper relies
+// on — source → chained operators → sink with 4 parallel worker slots —
+// so that the *relative* overhead of instrumenting sanity checks is
+// preserved even though absolute numbers differ from a Flink cluster.
+package stream
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is a record flowing through the engine: an event-time timestamp,
+// a partitioning key, a value with the SOUND asymmetric uncertainty
+// model, and the wall-clock creation time used for latency measurement.
+type Event struct {
+	Time    float64 // event time (domain units)
+	Key     string  // partitioning key ("house:plug", source name, ...)
+	Value   float64
+	SigUp   float64
+	SigDown float64
+	Created time.Time // wall-clock emission time at the source
+}
+
+// EmitFunc forwards an event to all downstream operators.
+type EmitFunc func(Event)
+
+// Processor transforms events. Each worker of an operator owns a private
+// Processor instance, so implementations may keep per-worker state
+// without locking (keyed partitioning guarantees key-local state).
+type Processor interface {
+	// Process handles one event, emitting zero or more events.
+	Process(ev Event, emit EmitFunc)
+	// Flush is called once per worker when the input stream ends.
+	Flush(emit EmitFunc)
+}
+
+// ProcessorFunc adapts a stateless function to the Processor interface.
+type ProcessorFunc func(ev Event, emit EmitFunc)
+
+// Process implements Processor.
+func (f ProcessorFunc) Process(ev Event, emit EmitFunc) { f(ev, emit) }
+
+// Flush implements Processor (no-op).
+func (ProcessorFunc) Flush(EmitFunc) {}
+
+// nodeKind discriminates the three node roles.
+type nodeKind int8
+
+const (
+	kindSource nodeKind = iota
+	kindOperator
+	kindSink
+)
+
+// Node is a vertex of the execution graph.
+type Node struct {
+	name        string
+	kind        nodeKind
+	parallelism int
+	gen         func(emit EmitFunc) // sources
+	newProc     func() Processor    // operators
+	sinkFn      func(Event)         // sinks
+	downstream  []*edge
+	inputs      int // number of upstream edges (for channel close accounting)
+	// emitted counts events sent downstream by this node (all workers).
+	emitted atomic.Int64
+	// processed counts events consumed by this node's workers.
+	processed atomic.Int64
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Emitted returns the number of events this node sent downstream during
+// the last Run.
+func (n *Node) Emitted() int64 { return n.emitted.Load() }
+
+// Processed returns the number of events this node's workers consumed
+// during the last Run (0 for sources).
+func (n *Node) Processed() int64 { return n.processed.Load() }
+
+// edge carries events from one node to the workers of the next.
+type edge struct {
+	to    *Node
+	keyed bool
+	// chans has one channel per target worker when keyed, else a single
+	// shared channel consumed by all target workers.
+	chans []chan Event
+	seed  maphash.Seed
+}
+
+func (e *edge) send(ev Event) {
+	if e.keyed {
+		var h maphash.Hash
+		h.SetSeed(e.seed)
+		h.WriteString(ev.Key)
+		e.chans[h.Sum64()%uint64(len(e.chans))] <- ev
+		return
+	}
+	e.chans[0] <- ev
+}
+
+// Graph is a dataflow topology under construction.
+type Graph struct {
+	nodes    []*Node
+	chanSize int
+}
+
+// NewGraph returns an empty graph. Channel capacity defaults to 256
+// events per edge partition.
+func NewGraph() *Graph { return &Graph{chanSize: 256} }
+
+// SetChannelSize overrides the per-partition channel capacity.
+func (g *Graph) SetChannelSize(n int) {
+	if n > 0 {
+		g.chanSize = n
+	}
+}
+
+// AddSource registers a source. gen runs in a single goroutine and emits
+// the full stream, returning when exhausted.
+func (g *Graph) AddSource(name string, gen func(emit EmitFunc)) *Node {
+	n := &Node{name: name, kind: kindSource, parallelism: 1, gen: gen}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// AddOperator registers an operator with the given worker parallelism.
+// newProc is called once per worker to create its private state.
+func (g *Graph) AddOperator(name string, parallelism int, newProc func() Processor) *Node {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	n := &Node{name: name, kind: kindOperator, parallelism: parallelism, newProc: newProc}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// AddMap registers a stateless operator from a plain function.
+func (g *Graph) AddMap(name string, parallelism int, fn func(Event, EmitFunc)) *Node {
+	return g.AddOperator(name, parallelism, func() Processor { return ProcessorFunc(fn) })
+}
+
+// AddFilter registers an operator passing only events with pred(ev).
+func (g *Graph) AddFilter(name string, parallelism int, pred func(Event) bool) *Node {
+	return g.AddMap(name, parallelism, func(ev Event, emit EmitFunc) {
+		if pred(ev) {
+			emit(ev)
+		}
+	})
+}
+
+// AddSink registers a sink. fn is called from a single goroutine.
+func (g *Graph) AddSink(name string, fn func(Event)) *Node {
+	n := &Node{name: name, kind: kindSink, parallelism: 1, sinkFn: fn}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Connect wires from → to with round-robin (shared-channel) delivery.
+func (g *Graph) Connect(from, to *Node) error { return g.connect(from, to, false) }
+
+// ConnectKeyed wires from → to partitioning events by hash of Event.Key,
+// so that all events of one key reach the same worker.
+func (g *Graph) ConnectKeyed(from, to *Node) error { return g.connect(from, to, true) }
+
+func (g *Graph) connect(from, to *Node, keyed bool) error {
+	if from == nil || to == nil {
+		return fmt.Errorf("stream: nil node in connect")
+	}
+	if from.kind == kindSink {
+		return fmt.Errorf("stream: sink %q cannot have downstream", from.name)
+	}
+	if to.kind == kindSource {
+		return fmt.Errorf("stream: source %q cannot have upstream", to.name)
+	}
+	e := &edge{to: to, keyed: keyed, seed: maphash.MakeSeed()}
+	from.downstream = append(from.downstream, e)
+	to.inputs++
+	return nil
+}
+
+// Run executes the graph to completion: all sources exhaust, all events
+// drain, all workers flush. It returns aggregated sink metrics.
+func (g *Graph) Run() (*Metrics, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	m := newMetrics()
+
+	// Materialize channels on every edge.
+	for _, n := range g.nodes {
+		for _, e := range n.downstream {
+			parts := 1
+			if e.keyed {
+				parts = e.to.parallelism
+			}
+			e.chans = make([]chan Event, parts)
+			for i := range e.chans {
+				e.chans[i] = make(chan Event, g.chanSize)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Per-node input close accounting: when all upstream edges are done,
+	// the node's input channels close.
+	type inbox struct {
+		chans []chan Event // channels this node's workers read
+	}
+	inboxes := map[*Node]*inbox{}
+	for _, n := range g.nodes {
+		if n.kind == kindSource {
+			continue
+		}
+		ib := &inbox{}
+		seen := map[chan Event]bool{}
+		// Collect channels from all edges targeting n.
+		for _, up := range g.nodes {
+			for _, e := range up.downstream {
+				if e.to != n {
+					continue
+				}
+				for _, c := range e.chans {
+					if !seen[c] {
+						seen[c] = true
+						ib.chans = append(ib.chans, c)
+					}
+				}
+			}
+		}
+		inboxes[n] = ib
+	}
+
+	// Track, per channel, how many senders feed it so it can be closed
+	// when they all finish.
+	senders := map[chan Event]*sync.WaitGroup{}
+	for _, n := range g.nodes {
+		for _, e := range n.downstream {
+			for _, c := range e.chans {
+				if senders[c] == nil {
+					senders[c] = &sync.WaitGroup{}
+				}
+				// All workers of n (or the single source goroutine)
+				// share the node's emit path.
+				senders[c].Add(n.parallelism)
+			}
+		}
+	}
+	var closers sync.WaitGroup
+	for c, swg := range senders {
+		closers.Add(1)
+		go func(c chan Event, swg *sync.WaitGroup) {
+			defer closers.Done()
+			swg.Wait()
+			close(c)
+		}(c, swg)
+	}
+
+	emitFor := func(n *Node) EmitFunc {
+		edges := n.downstream
+		return func(ev Event) {
+			n.emitted.Add(1)
+			for _, e := range edges {
+				e.send(ev)
+			}
+		}
+	}
+	doneFor := func(n *Node) func() {
+		return func() {
+			for _, e := range n.downstream {
+				for _, c := range e.chans {
+					senders[c].Done()
+				}
+			}
+		}
+	}
+
+	// Reset per-node counters so repeated Run calls start clean.
+	for _, n := range g.nodes {
+		n.emitted.Store(0)
+		n.processed.Store(0)
+	}
+
+	m.start()
+	for _, n := range g.nodes {
+		n := n
+		switch n.kind {
+		case kindSource:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer doneFor(n)()
+				n.gen(emitFor(n))
+			}()
+		case kindOperator:
+			ib := inboxes[n]
+			if len(ib.chans) == 0 {
+				// Disconnected operator: nothing to do, but release
+				// sender slots so downstream channels close.
+				for w := 0; w < n.parallelism; w++ {
+					doneFor(n)()
+				}
+				continue
+			}
+			for w := 0; w < n.parallelism; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer doneFor(n)()
+					proc := n.newProc()
+					emit := emitFor(n)
+					// Keyed inputs dedicate channel w to worker w;
+					// shared inputs are consumed cooperatively.
+					var mine []chan Event
+					for _, c := range ib.chans {
+						mine = append(mine, c)
+					}
+					if keyedInbox(g, n) {
+						mine = pickWorkerChans(g, n, w)
+					}
+					consume(n, mine, proc, emit)
+				}()
+			}
+		case kindSink:
+			ib := inboxes[n]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sinkConsume(n, ib.chans, n.sinkFn, m, n.name)
+			}()
+		}
+	}
+	wg.Wait()
+	closers.Wait()
+	m.stop()
+	return m, nil
+}
+
+// keyedInbox reports whether all edges into n are keyed.
+func keyedInbox(g *Graph, n *Node) bool {
+	any := false
+	for _, up := range g.nodes {
+		for _, e := range up.downstream {
+			if e.to == n {
+				any = true
+				if !e.keyed {
+					return false
+				}
+			}
+		}
+	}
+	return any
+}
+
+// pickWorkerChans returns the channels assigned to worker w of node n
+// across all keyed input edges.
+func pickWorkerChans(g *Graph, n *Node, w int) []chan Event {
+	var out []chan Event
+	for _, up := range g.nodes {
+		for _, e := range up.downstream {
+			if e.to == n && e.keyed && w < len(e.chans) {
+				out = append(out, e.chans[w])
+			}
+		}
+	}
+	return out
+}
+
+// consume drains the channels (merged) through the processor, flushing
+// at end of stream.
+func consume(n *Node, chans []chan Event, proc Processor, emit EmitFunc) {
+	merged := merge(chans)
+	for ev := range merged {
+		n.processed.Add(1)
+		proc.Process(ev, emit)
+	}
+	proc.Flush(emit)
+}
+
+func sinkConsume(n *Node, chans []chan Event, fn func(Event), m *Metrics, sink string) {
+	merged := merge(chans)
+	for ev := range merged {
+		n.processed.Add(1)
+		m.record(sink, ev)
+		if fn != nil {
+			fn(ev)
+		}
+	}
+}
+
+// merge fans multiple channels into one.
+func merge(chans []chan Event) <-chan Event {
+	if len(chans) == 1 {
+		return chans[0]
+	}
+	out := make(chan Event, 64)
+	var wg sync.WaitGroup
+	for _, c := range chans {
+		wg.Add(1)
+		go func(c chan Event) {
+			defer wg.Done()
+			for ev := range c {
+				out <- ev
+			}
+		}(c)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+func (g *Graph) validate() error {
+	names := map[string]bool{}
+	hasSource, hasSink := false, false
+	for _, n := range g.nodes {
+		if names[n.name] {
+			return fmt.Errorf("stream: duplicate node name %q", n.name)
+		}
+		names[n.name] = true
+		switch n.kind {
+		case kindSource:
+			hasSource = true
+		case kindSink:
+			hasSink = true
+		}
+	}
+	if !hasSource {
+		return fmt.Errorf("stream: graph has no source")
+	}
+	if !hasSink {
+		return fmt.Errorf("stream: graph has no sink")
+	}
+	return nil
+}

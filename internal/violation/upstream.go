@@ -1,0 +1,161 @@
+package violation
+
+import (
+	"sound/internal/core"
+	"sound/internal/pipeline"
+	"sound/internal/series"
+)
+
+// UpstreamAnalysis implements paper Alg. 2: when a change point can only
+// be explained by a change in data values (E1), the change constraint is
+// evaluated on the local windows and on the time-matched windows of every
+// upstream series, producing an annotation of the pipeline DAG that
+// bounds the manual root-cause search space.
+type UpstreamAnalysis struct {
+	Change ChangeConstraint
+	// Evaluations counts φ²_change invocations, the cost metric of the
+	// paper's Fig. 9.
+	Evaluations int
+}
+
+// NewUpstreamAnalysis returns an analysis using the default KS change
+// constraint at significance α = 1 − credibility.
+func NewUpstreamAnalysis(credibility float64) *UpstreamAnalysis {
+	return &UpstreamAnalysis{Change: KSChangeConstraint(1 - credibility)}
+}
+
+// Annotate runs Alg. 2 for one change point of check ck in pipeline p.
+// It returns the set R of local and upstream series with detected
+// changes.
+func (u *UpstreamAnalysis) Annotate(p *pipeline.Pipeline, ck core.Check, cp ChangePoint) pipeline.Annotation {
+	r := pipeline.Annotation{}
+	k := len(ck.SeriesNames)
+	for j := 0; j < k && j < len(cp.Pos.Windows) && j < len(cp.Neg.Windows); j++ {
+		name := ck.SeriesNames[j]
+		wPos, wNeg := cp.Pos.Windows[j], cp.Neg.Windows[j]
+		// Assess difference in the local series (lines 3-4).
+		u.Evaluations++
+		if u.Change(wPos, wNeg) {
+			r.Add(name)
+		}
+		// Assess every upstream predecessor within the change point's
+		// time ranges (lines 5-9).
+		for _, up := range p.Predecessors(name) {
+			us, ok := p.Series(up)
+			if !ok {
+				continue
+			}
+			uNeg := sliceWindow(us, cp.Neg)
+			uPos := sliceWindow(us, cp.Pos)
+			u.Evaluations++
+			if u.Change(uPos, uNeg) {
+				r.Add(up)
+			}
+		}
+	}
+	return r
+}
+
+// AnnotateDeep extends Alg. 2 transitively: predecessors of annotated
+// series are inspected as well, walking the provenance until no further
+// changes are found. This is the drill-down mode the paper motivates for
+// deep pipelines.
+func (u *UpstreamAnalysis) AnnotateDeep(p *pipeline.Pipeline, ck core.Check, cp ChangePoint) pipeline.Annotation {
+	r := u.Annotate(p, ck, cp)
+	frontier := r.Names()
+	visited := map[string]bool{}
+	for _, n := range frontier {
+		visited[n] = true
+	}
+	for len(frontier) > 0 {
+		var next []string
+		for _, name := range frontier {
+			for _, up := range p.Predecessors(name) {
+				if visited[up] {
+					continue
+				}
+				visited[up] = true
+				us, ok := p.Series(up)
+				if !ok {
+					continue
+				}
+				u.Evaluations++
+				if u.Change(sliceWindow(us, cp.Pos), sliceWindow(us, cp.Neg)) {
+					r.Add(up)
+					next = append(next, up)
+				}
+			}
+		}
+		frontier = next
+	}
+	return r
+}
+
+// sliceWindow selects the sub-series of s matching the time range of the
+// window tuple (Alg. 2 lines 6-7: u[u.t ∈ min(w.t)]).
+func sliceWindow(s series.Series, w core.WindowTuple) series.Series {
+	return s.SliceTimeInclusive(w.Start, w.End)
+}
+
+// BaseVA is the provenance-based baseline of §VI-A: data quality is
+// ignored, every violation change point is attributed to a change in
+// local data values (E1), and change constraints are evaluated
+// proactively for every adjacent window pair of the check's series and
+// their upstream series, regardless of whether a change point occurred.
+type BaseVA struct {
+	Change ChangeConstraint
+	// Evaluations counts proactive φ²_change invocations (Fig. 9).
+	Evaluations int
+}
+
+// NewBaseVA returns the baseline with the default KS change constraint.
+func NewBaseVA(credibility float64) *BaseVA {
+	return &BaseVA{Change: KSChangeConstraint(1 - credibility)}
+}
+
+// RunProactive evaluates the change constraint on every adjacent window
+// pair of every checked series and its upstream predecessors, returning
+// per-index change flags for the check's first series (the propagated
+// signal). This models BASE_VA's cost structure: work scales with the
+// number of windows, not with the number of change points.
+func (b *BaseVA) RunProactive(p *pipeline.Pipeline, ck core.Check, tuples []core.WindowTuple) []bool {
+	changed := make([]bool, len(tuples))
+	k := len(ck.SeriesNames)
+	for i := 1; i < len(tuples); i++ {
+		prev, cur := tuples[i-1], tuples[i]
+		for j := 0; j < k && j < len(cur.Windows); j++ {
+			b.Evaluations++
+			if b.Change(prev.Windows[j], cur.Windows[j]) {
+				changed[i] = true
+			}
+			for _, up := range p.Predecessors(ck.SeriesNames[j]) {
+				us, ok := p.Series(up)
+				if !ok {
+					continue
+				}
+				b.Evaluations++
+				if b.Change(sliceWindow(us, prev), sliceWindow(us, cur)) {
+					changed[i] = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// FalsePositiveRate evaluates BASE_VA's explanation quality against
+// SOUND's reports: the fraction of change points that BASE_VA attributes
+// to a local value change (its only possible explanation) while SOUND's
+// analysis confirms a data-quality root cause (E2–E6) instead.
+func FalsePositiveRate(reports []Report) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	fp := 0
+	for _, rep := range reports {
+		if rep.Primary() != E1ValueChange {
+			fp++
+		}
+	}
+	return float64(fp) / float64(len(reports))
+}

@@ -1,0 +1,203 @@
+package violation
+
+import (
+	"reflect"
+	"testing"
+
+	"sound/internal/core"
+	"sound/internal/pipeline"
+	"sound/internal/rng"
+	"sound/internal/series"
+)
+
+// buildPipeline creates raw -> derived where derived = raw * 2, with a
+// distribution shift injected into both from t = 50 on.
+func buildPipeline(shift float64) (*pipeline.Pipeline, series.Series, series.Series) {
+	r := rng.New(31)
+	raw := make(series.Series, 100)
+	for i := range raw {
+		v := 10 + r.NormFloat64()
+		if i >= 50 {
+			v += shift
+		}
+		raw[i] = series.Point{T: float64(i), V: v}
+	}
+	derived := raw.Clone()
+	for i := range derived {
+		derived[i].V *= 2
+	}
+	p := pipeline.New()
+	p.AddSeries("raw", raw)
+	p.AddSeries("derived", derived)
+	if err := p.Connect("raw", "double", "derived"); err != nil {
+		panic(err)
+	}
+	return p, raw, derived
+}
+
+func checkOn(names ...string) core.Check {
+	return core.Check{
+		Name:        "test-check",
+		Constraint:  core.MaxDelta(1000),
+		SeriesNames: names,
+		Window:      core.TimeWindow{Size: 25},
+	}
+}
+
+func cpAt(derived series.Series, posStart, negStart, size float64) ChangePoint {
+	return ChangePoint{
+		Index: 1,
+		Pos: core.WindowTuple{
+			Windows: []series.Series{derived.SliceTime(posStart, posStart+size)},
+			Start:   posStart, End: posStart + size, Index: 0,
+		},
+		Neg: core.WindowTuple{
+			Windows: []series.Series{derived.SliceTime(negStart, negStart+size)},
+			Start:   negStart, End: negStart + size, Index: 1,
+		},
+	}
+}
+
+func TestAnnotateFindsLocalAndUpstreamChange(t *testing.T) {
+	p, _, derived := buildPipeline(30)
+	ua := NewUpstreamAnalysis(0.95)
+	cp := cpAt(derived, 25, 50, 25)
+	r := ua.Annotate(p, checkOn("derived"), cp)
+	if !r.Contains("derived") {
+		t.Error("local change not annotated")
+	}
+	if !r.Contains("raw") {
+		t.Error("upstream change not annotated")
+	}
+	// Two evaluations: local + one upstream predecessor.
+	if ua.Evaluations != 2 {
+		t.Errorf("evaluations = %d, want 2", ua.Evaluations)
+	}
+}
+
+func TestAnnotateNoChangeNoAnnotation(t *testing.T) {
+	p, _, derived := buildPipeline(0)
+	ua := NewUpstreamAnalysis(0.95)
+	cp := cpAt(derived, 0, 25, 25)
+	r := ua.Annotate(p, checkOn("derived"), cp)
+	if len(r.Names()) != 0 {
+		t.Errorf("annotated %v without any change", r.Names())
+	}
+}
+
+func TestAnnotateDeepWalksProvenance(t *testing.T) {
+	// chain: a -> b -> c, shift present in all three.
+	r := rng.New(37)
+	mk := func(scale float64) series.Series {
+		s := make(series.Series, 100)
+		for i := range s {
+			v := 5 + 0.3*r.NormFloat64()
+			if i >= 50 {
+				v += 20
+			}
+			s[i] = series.Point{T: float64(i), V: v * scale}
+		}
+		return s
+	}
+	p := pipeline.New()
+	p.AddSeries("a", mk(1))
+	p.AddSeries("b", mk(2))
+	p.AddSeries("c", mk(3))
+	if err := p.Connect("a", "f", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Connect("b", "g", "c"); err != nil {
+		t.Fatal(err)
+	}
+	ua := NewUpstreamAnalysis(0.95)
+	cSer := p.MustSeries("c")
+	cp := cpAt(cSer, 25, 50, 25)
+	ann := ua.AnnotateDeep(p, checkOn("c"), cp)
+	want := []string{"a", "b", "c"}
+	if got := ann.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("deep annotation = %v, want %v", got, want)
+	}
+}
+
+func TestBaseVAProactiveCost(t *testing.T) {
+	p, _, derived := buildPipeline(30)
+	ck := checkOn("derived")
+	tuples := ck.Window.Windows([]series.Series{derived})
+	bva := NewBaseVA(0.95)
+	changed := bva.RunProactive(p, ck, tuples)
+	if len(changed) != len(tuples) {
+		t.Fatalf("flags = %d, windows = %d", len(changed), len(tuples))
+	}
+	// Proactive: (len-1) pairs × (1 local + 1 upstream) evaluations.
+	want := (len(tuples) - 1) * 2
+	if bva.Evaluations != want {
+		t.Errorf("evaluations = %d, want %d", bva.Evaluations, want)
+	}
+	// The shift at t=50 lies in window 2 (windows of 25): flag set.
+	if !changed[2] {
+		t.Errorf("change flags = %v, shift not detected", changed)
+	}
+}
+
+func TestReactiveCheaperThanProactive(t *testing.T) {
+	// One change point → SOUND does 2 evaluations; BASE_VA scales with
+	// window count.
+	p, _, derived := buildPipeline(30)
+	ck := checkOn("derived")
+	tuples := ck.Window.Windows([]series.Series{derived})
+
+	ua := NewUpstreamAnalysis(0.95)
+	ua.Annotate(p, ck, cpAt(derived, 25, 50, 25))
+	bva := NewBaseVA(0.95)
+	bva.RunProactive(p, ck, tuples)
+	if ua.Evaluations >= bva.Evaluations {
+		t.Errorf("reactive %d >= proactive %d", ua.Evaluations, bva.Evaluations)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	reps := []Report{
+		{Explanations: []Explanation{E1ValueChange}},
+		{Explanations: []Explanation{E4HighUncertainty}},
+		{Explanations: []Explanation{E2HighSparsity}},
+		{Explanations: []Explanation{E1ValueChange}},
+	}
+	if got := FalsePositiveRate(reps); got != 0.5 {
+		t.Errorf("FPR = %v, want 0.5", got)
+	}
+	if got := FalsePositiveRate(nil); got != 0 {
+		t.Errorf("FPR(nil) = %v", got)
+	}
+}
+
+func TestAnnotateBinaryCheck(t *testing.T) {
+	p, raw, derived := buildPipeline(30)
+	p.AddSeries("other", raw.Clone())
+	ck := core.Check{
+		Name:        "binary",
+		Constraint:  core.CountAtLeast(),
+		SeriesNames: []string{"derived", "other"},
+		Window:      core.TimeWindow{Size: 25},
+	}
+	cp := ChangePoint{
+		Pos: core.WindowTuple{
+			Windows: []series.Series{derived.SliceTime(25, 50), raw.SliceTime(25, 50)},
+			Start:   25, End: 50,
+		},
+		Neg: core.WindowTuple{
+			Windows: []series.Series{derived.SliceTime(50, 75), raw.SliceTime(50, 75)},
+			Start:   50, End: 75,
+		},
+	}
+	ua := NewUpstreamAnalysis(0.95)
+	ann := ua.Annotate(p, ck, cp)
+	// derived changed (shift), its upstream raw changed, and the clone
+	// "other" changed too — 2 local + 1 upstream evaluations... raw is
+	// predecessor of derived only.
+	if !ann.Contains("derived") || !ann.Contains("other") || !ann.Contains("raw") {
+		t.Errorf("annotation = %v", ann.Names())
+	}
+	if ua.Evaluations != 3 {
+		t.Errorf("evaluations = %d, want 3 (2 local + 1 upstream)", ua.Evaluations)
+	}
+}

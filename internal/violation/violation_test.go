@@ -1,0 +1,225 @@
+package violation
+
+import (
+	"testing"
+
+	"sound/internal/core"
+	"sound/internal/rng"
+	"sound/internal/series"
+)
+
+func results(outcomes ...core.Outcome) []core.Result {
+	rs := make([]core.Result, len(outcomes))
+	for i, o := range outcomes {
+		rs[i] = core.Result{
+			Outcome: o,
+			Window: core.WindowTuple{
+				Windows: []series.Series{series.FromValues(float64(i))},
+				Start:   float64(i), End: float64(i) + 1, Index: i,
+			},
+		}
+	}
+	return rs
+}
+
+func TestChangePointsDetection(t *testing.T) {
+	rs := results(core.Satisfied, core.Satisfied, core.Violated, core.Violated, core.Satisfied)
+	cps := ChangePoints(rs)
+	if len(cps) != 2 {
+		t.Fatalf("got %d change points", len(cps))
+	}
+	if cps[0].Index != 2 || cps[1].Index != 4 {
+		t.Errorf("indices = %d, %d", cps[0].Index, cps[1].Index)
+	}
+	// First flip ⊤→⊥: Pos is window 1, Neg is window 2.
+	if cps[0].Pos.Index != 1 || cps[0].Neg.Index != 2 {
+		t.Errorf("cp0 pos/neg = %d/%d", cps[0].Pos.Index, cps[0].Neg.Index)
+	}
+	// Second flip ⊥→⊤: Pos is window 4, Neg is window 3.
+	if cps[1].Pos.Index != 4 || cps[1].Neg.Index != 3 {
+		t.Errorf("cp1 pos/neg = %d/%d", cps[1].Pos.Index, cps[1].Neg.Index)
+	}
+}
+
+func TestChangePointsIgnoreInconclusive(t *testing.T) {
+	rs := results(core.Satisfied, core.Inconclusive, core.Violated)
+	if cps := ChangePoints(rs); len(cps) != 0 {
+		t.Errorf("transition through ⊣ produced %d change points", len(cps))
+	}
+	if cps := ChangePoints(nil); len(cps) != 0 {
+		t.Error("empty input produced change points")
+	}
+}
+
+// cpFor builds a change point from explicit windows for a unary check.
+func cpFor(pos, neg series.Series) ChangePoint {
+	return ChangePoint{
+		Index: 1,
+		Pos:   core.WindowTuple{Windows: []series.Series{pos}, Start: 0, End: 1, Index: 0},
+		Neg:   core.WindowTuple{Windows: []series.Series{neg}, Start: 1, End: 2, Index: 1},
+	}
+}
+
+func denseWindow(n int, value float64, sigma float64) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = series.Point{T: float64(i) / float64(n), V: value, SigUp: sigma, SigDown: sigma}
+	}
+	return s
+}
+
+func TestExplainE2HighSparsity(t *testing.T) {
+	// Constraint: window mean > 0 as a set check. Satisfied window:
+	// bimodal — 30 points near -0.1 and 10 near +2, overall mean
+	// positive. Violated window: 3 negative points (a sparse,
+	// unrepresentative sample of the same population). Downsampling the
+	// satisfied window to 3 points lands on all-negative subsets ~41% of
+	// the time, in which case the what-if evaluation fails and E2 is
+	// confirmed. We assert the statistical behaviour across seeds.
+	c := core.Constraint{
+		Name: "mean-positive", Granularity: core.WindowTime,
+		Orderedness: core.Set, Arity: 1,
+		Fn: func(vals [][]float64) bool {
+			sum := 0.0
+			for _, v := range vals[0] {
+				sum += v
+			}
+			return sum > 0
+		},
+	}
+	r := rng.New(3)
+	pos := make(series.Series, 40)
+	for i := range pos {
+		v := -0.1
+		if i%4 == 0 {
+			v = 2.0
+		}
+		pos[i] = series.Point{T: float64(i), V: v + 0.01*r.NormFloat64()}
+	}
+	neg := series.Series{
+		{T: 40, V: -0.12}, {T: 41, V: -0.09}, {T: 42, V: -0.11},
+	}
+	confirmed := 0
+	const runs = 40
+	for seed := uint64(0); seed < runs; seed++ {
+		a := MustAnalyzer(core.Params{Credibility: 0.9, MaxSamples: 200}, seed)
+		if a.Explain(c, cpFor(pos, neg)).Has(E2HighSparsity) {
+			confirmed++
+		}
+	}
+	if confirmed < runs/5 {
+		t.Errorf("E2 confirmed in only %d/%d runs", confirmed, runs)
+	}
+}
+
+func TestExplainE4HighUncertainty(t *testing.T) {
+	// Threshold check x > 10. Satisfied window: values 12 with tiny
+	// sigma. Violated window: values 12 with huge sigma → frequent
+	// below-threshold samples. Scaling uncertainty down to the satisfied
+	// level must restore satisfaction.
+	c := core.GreaterThan(10)
+	c.Granularity = core.WindowTime // treat as set check over the window
+	pos := denseWindow(20, 12, 0.05)
+	neg := denseWindow(20, 10.3, 4)
+	a := MustAnalyzer(core.Params{Credibility: 0.9, MaxSamples: 300}, 11)
+	rep := a.Explain(c, cpFor(pos, neg))
+	if !rep.Has(E4HighUncertainty) {
+		t.Errorf("E4 not confirmed; explanations = %v", rep.Explanations)
+	}
+	if rep.Has(E1ValueChange) {
+		t.Error("E1 should be excluded when E4 holds")
+	}
+}
+
+func TestExplainE5LowUncertainty(t *testing.T) {
+	// Satisfied window: huge uncertainty masks the threshold proximity
+	// (samples scatter both sides but enough satisfy). Violated window:
+	// small uncertainty reveals values just below threshold. Scaling
+	// uncertainty up must flip it back to non-violation... per paper,
+	// satisfaction.
+	c := core.GreaterThan(10)
+	c.Granularity = core.WindowTime
+	pos := denseWindow(20, 10.6, 3)
+	neg := denseWindow(20, 9.9, 0.05)
+	a := MustAnalyzer(core.Params{Credibility: 0.9, MaxSamples: 300}, 13)
+	rep := a.Explain(c, cpFor(pos, neg))
+	// The precondition δ_⊥ < δ_⊤ holds; whether the what-if passes
+	// depends on the data. With σ scaled up to δ_⊤ level (~3 absolute),
+	// half the samples land above 10 minus a bit — outcome likely
+	// inconclusive or satisfied. We accept either E5 or E1 but verify
+	// the precondition logic by requiring no E4.
+	if rep.Has(E4HighUncertainty) {
+		t.Errorf("E4 confirmed despite lower uncertainty at violation; %v", rep.Explanations)
+	}
+}
+
+func TestExplainE6ResamplingFalsePositive(t *testing.T) {
+	// Monotonic increase over a window: globally increasing data, so φ
+	// holds on every contiguous block; block-bootstrap reordering can
+	// produce non-monotone samples → spurious violations. E6 must fire.
+	c := core.MonotonicIncrease(true)
+	pos := series.FromValues(1, 2, 3, 4, 5, 6, 7, 8, 9)
+	neg := series.FromValues(10, 11, 12, 13, 14, 15, 16, 17, 18)
+	a := MustAnalyzer(core.Params{Credibility: 0.95, MaxSamples: 100}, 17)
+	rep := a.Explain(c, cpFor(pos, neg))
+	if !rep.Has(E6ResamplingFalsePositive) {
+		t.Errorf("E6 not confirmed on monotone data; %v", rep.Explanations)
+	}
+}
+
+func TestExplainE6NotForSetChecks(t *testing.T) {
+	c := core.MaxDelta(100) // set check: E6 must never fire
+	pos := series.FromValues(1, 2, 3, 4)
+	neg := series.FromValues(5, 6, 7, 8)
+	a := MustAnalyzer(core.Params{Credibility: 0.95, MaxSamples: 50}, 19)
+	rep := a.Explain(c, cpFor(pos, neg))
+	if rep.Has(E6ResamplingFalsePositive) {
+		t.Error("E6 confirmed for an unordered constraint")
+	}
+}
+
+func TestExplainFallsBackToE1(t *testing.T) {
+	// Certain, equally dense windows with a genuine value change:
+	// no data-quality explanation applies.
+	c := core.GreaterThan(10)
+	c.Granularity = core.WindowTime
+	pos := denseWindow(20, 15, 0)
+	neg := denseWindow(20, 5, 0)
+	a := MustAnalyzer(core.Params{Credibility: 0.95, MaxSamples: 100}, 23)
+	rep := a.Explain(c, cpFor(pos, neg))
+	if len(rep.Explanations) != 1 || rep.Explanations[0] != E1ValueChange {
+		t.Errorf("explanations = %v, want [E1]", rep.Explanations)
+	}
+	if rep.Primary() != E1ValueChange {
+		t.Error("primary should be E1")
+	}
+}
+
+func TestExplanationStrings(t *testing.T) {
+	for e := E1ValueChange; e <= E6ResamplingFalsePositive; e++ {
+		if e.String() == "unknown explanation" {
+			t.Errorf("missing string for %d", e)
+		}
+	}
+	if Explanation(0).String() != "unknown explanation" {
+		t.Error("zero explanation should be unknown")
+	}
+}
+
+func TestKSChangeConstraint(t *testing.T) {
+	cc := KSChangeConstraint(0.05)
+	same := denseWindow(50, 5, 0)
+	other := denseWindow(50, 50, 0)
+	if cc(same, same.Clone()) {
+		t.Error("identical windows flagged as changed")
+	}
+	if !cc(same, other) {
+		t.Error("disjoint windows not flagged")
+	}
+}
+
+func TestReportPrimaryEmpty(t *testing.T) {
+	if (Report{}).Primary() != E1ValueChange {
+		t.Error("empty report primary should be E1")
+	}
+}

@@ -1,0 +1,18 @@
+package sound
+
+import "sound/internal/profile"
+
+// Constraint suggestion from trusted data (paper §II: profiling, correlation
+// analysis, and pattern detection can assist constraint definition).
+
+// ProfileOptions tune the constraint-suggestion heuristics.
+type ProfileOptions = profile.Options
+
+// ProfileSuggestion is one proposed sanity check with its evidence.
+type ProfileSuggestion = profile.Suggestion
+
+// SuggestChecks profiles trusted series and proposes sanity checks,
+// ordered by descending evidence score.
+func SuggestChecks(data map[string]Series, opts ProfileOptions) []ProfileSuggestion {
+	return profile.Suggest(data, opts)
+}
