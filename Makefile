@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench benchjson
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: compile everything, vet, and run the full test
+# suite under the race detector (the shared decision-table cache and the
+# pooled parallel evaluators are concurrency-sensitive).
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# benchjson regenerates the machine-readable hot-path benchmark record.
+benchjson:
+	$(GO) run ./cmd/soundbench -benchjson BENCH_PR1.json

@@ -12,7 +12,7 @@ package sound_test
 import (
 	"testing"
 
-	"sound"
+	"sound/internal/bench"
 	"sound/internal/experiments"
 )
 
@@ -59,194 +59,39 @@ func BenchmarkTable5NaiveAccuracy(b *testing.B) { benchExperiment(b, "table5") }
 // counts and BASE_VA FPR.
 func BenchmarkTable6ViolationAnalysis(b *testing.B) { benchExperiment(b, "table6") }
 
-// --- Ablations -----------------------------------------------------------
-
-// borderlineSeries returns an uncertain series whose range check is
-// clear-cut for most points: the case where adaptive early stopping
-// should save nearly all of the sampling budget.
-func clearCutSeries(n int) sound.Series {
-	s := make(sound.Series, n)
-	for i := range s {
-		s[i] = sound.Point{T: float64(i), V: 50, SigUp: 2, SigDown: 2}
-	}
-	return s
-}
+// --- Hot path and ablations ----------------------------------------------
+//
+// The workload bodies live in internal/bench so cmd/soundbench can run
+// the identical code under testing.Benchmark and emit machine-readable
+// JSON (soundbench -benchjson); these wrappers keep them reachable from
+// `go test -bench` under their usual names.
 
 // BenchmarkAblationEarlyStop compares Alg. 1's adaptive decision rule
 // (check after every sample) against a fixed-budget variant that decides
-// only after all N samples (CheckInterval = N). The samples/op metric
-// shows the adaptive rule consuming a fraction of the budget.
+// only after all N samples (CheckInterval = N).
 func BenchmarkAblationEarlyStop(b *testing.B) {
-	data := clearCutSeries(64)
-	check := sound.Check{
-		Name:        "range",
-		Constraint:  sound.Range(0, 100),
-		SeriesNames: []string{"s"},
-		Window:      sound.PointWindow{},
-	}
-	for _, variant := range []struct {
-		name     string
-		interval int
-	}{
-		{"adaptive", 1},
-		{"fixedN", 100},
-	} {
-		b.Run(variant.name, func(b *testing.B) {
-			params := sound.Params{Credibility: 0.95, MaxSamples: 100, CheckInterval: variant.interval}
-			eval, err := sound.NewEvaluator(params, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			samples := 0
-			windows := 0
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				results, err := check.Run(eval, []sound.Series{data})
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, r := range results {
-					samples += r.Samples
-					windows++
-				}
-			}
-			b.ReportMetric(float64(samples)/float64(windows), "samples/window")
-		})
-	}
+	b.Run("adaptive", func(b *testing.B) { bench.AblationEarlyStop(b, 1) })
+	b.Run("fixedN", func(b *testing.B) { bench.AblationEarlyStop(b, 100) })
 }
 
 // BenchmarkAblationBlockBootstrap compares the block bootstrap against a
-// naive i.i.d. bootstrap for a sequence constraint on autocorrelated
-// data. The falseviol/op metric is the rate of spurious violations on a
-// genuinely monotone series — the failure mode the block bootstrap
-// bounds and E6 controls.
+// naive i.i.d. bootstrap for a sequence constraint on autocorrelated data.
 func BenchmarkAblationBlockBootstrap(b *testing.B) {
-	// Monotone data with small uncertainty: the ground truth satisfies
-	// the non-strict monotonicity constraint.
-	n := 64
-	data := make(sound.Series, n)
-	for i := range data {
-		data[i] = sound.Point{T: float64(i), V: float64(i) * 10, SigUp: 0.01, SigDown: 0.01}
-	}
-	mono := sound.MonotonicIncrease(false) // sequence constraint: block bootstrap
-	iid := mono
-	iid.Orderedness = sound.Set // forces the i.i.d. bootstrap strategy
-
-	for _, variant := range []struct {
-		name       string
-		constraint sound.Constraint
-	}{
-		{"block", mono},
-		{"iid", iid},
-	} {
-		b.Run(variant.name, func(b *testing.B) {
-			check := sound.Check{
-				Name:        variant.name,
-				Constraint:  variant.constraint,
-				SeriesNames: []string{"s"},
-				Window:      sound.CountWindow{Size: 16},
-			}
-			eval, err := sound.NewEvaluator(sound.Params{Credibility: 0.95, MaxSamples: 100}, 2)
-			if err != nil {
-				b.Fatal(err)
-			}
-			falseViol, windows := 0, 0
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				results, err := check.Run(eval, []sound.Series{data})
-				if err != nil {
-					b.Fatal(err)
-				}
-				results = sound.ControlE6(variant.constraint, results)
-				for _, r := range results {
-					windows++
-					if r.Outcome == sound.Violated {
-						falseViol++
-					}
-				}
-			}
-			b.ReportMetric(float64(falseViol)/float64(windows), "falseviol/window")
-		})
-	}
+	b.Run("block", func(b *testing.B) { bench.AblationBlockBootstrap(b, true) })
+	b.Run("iid", func(b *testing.B) { bench.AblationBlockBootstrap(b, false) })
 }
 
 // BenchmarkAblationDecisionRule compares the credible-interval decision
-// rule against an aggressive near-point-estimate rule (c = 0.05) on a
-// borderline window. The falseconcl/op metric counts conclusions drawn
-// on data that only supports ⊣.
+// rule against an aggressive near-point-estimate rule (c = 0.05).
 func BenchmarkAblationDecisionRule(b *testing.B) {
-	borderline := sound.Series{{T: 0, V: 10, SigUp: 5, SigDown: 5}}
-	check := sound.Check{
-		Name:        "gt",
-		Constraint:  sound.GreaterThan(10),
-		SeriesNames: []string{"s"},
-		Window:      sound.PointWindow{},
-	}
-	for _, variant := range []struct {
-		name string
-		c    float64
-	}{
-		{"credible95", 0.95},
-		{"pointEstimate", 0.05},
-	} {
-		b.Run(variant.name, func(b *testing.B) {
-			eval, err := sound.NewEvaluator(sound.Params{Credibility: variant.c, MaxSamples: 100}, 3)
-			if err != nil {
-				b.Fatal(err)
-			}
-			falseConcl, windows := 0, 0
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				results, err := check.Run(eval, []sound.Series{borderline})
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, r := range results {
-					windows++
-					if r.Outcome != sound.Inconclusive {
-						falseConcl++
-					}
-				}
-			}
-			b.ReportMetric(float64(falseConcl)/float64(windows), "falseconcl/window")
-		})
-	}
+	b.Run("credible95", func(b *testing.B) { bench.AblationDecisionRule(b, 0.95) })
+	b.Run("pointEstimate", func(b *testing.B) { bench.AblationDecisionRule(b, 0.05) })
 }
 
 // BenchmarkEvaluatePointCheck measures the core evaluation loop on a
-// single certain point (the cheapest path: 5 samples to conclude).
-func BenchmarkEvaluatePointCheck(b *testing.B) {
-	data := sound.FromValues(50)
-	c := sound.Range(0, 100)
-	eval, err := sound.NewEvaluator(sound.DefaultParams(), 4)
-	if err != nil {
-		b.Fatal(err)
-	}
-	tuple := sound.PointWindow{}.Windows([]sound.Series{data})[0]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = eval.Evaluate(c, tuple)
-	}
-}
+// single certain point (the deterministic-collapse fast path).
+func BenchmarkEvaluatePointCheck(b *testing.B) { bench.EvaluatePointCheck(b) }
 
 // BenchmarkEvaluateSequenceCheck measures a windowed sequence evaluation
 // (block bootstrap + correlation) on a 64-point binary window.
-func BenchmarkEvaluateSequenceCheck(b *testing.B) {
-	n := 64
-	x := make(sound.Series, n)
-	y := make(sound.Series, n)
-	for i := range x {
-		x[i] = sound.Point{T: float64(i), V: float64(i), SigUp: 1, SigDown: 1}
-		y[i] = sound.Point{T: float64(i), V: float64(i) + 5, SigUp: 1, SigDown: 1}
-	}
-	c := sound.CorrelationAbove(0.2)
-	eval, err := sound.NewEvaluator(sound.DefaultParams(), 5)
-	if err != nil {
-		b.Fatal(err)
-	}
-	tuple := sound.GlobalWindow{}.Windows([]sound.Series{x, y})[0]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = eval.Evaluate(c, tuple)
-	}
-}
+func BenchmarkEvaluateSequenceCheck(b *testing.B) { bench.EvaluateSequenceCheck(b) }

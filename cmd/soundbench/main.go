@@ -7,6 +7,7 @@
 //	soundbench -exp all             # everything
 //	soundbench -exp table5 -quick   # shrunken workloads, seconds not minutes
 //	soundbench -list                # show available experiments
+//	soundbench -benchjson out.json  # micro-benchmarks as machine-readable JSON
 //
 // Absolute throughput/latency numbers differ from the paper's testbed;
 // the shapes (who wins, rough factors, crossovers) are the reproduction
@@ -14,13 +15,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"sound/internal/bench"
 	"sound/internal/experiments"
 )
 
@@ -32,12 +37,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("soundbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment to run (fig1, fig4..fig9, table5, table6, ablation, or all)")
-		seed    = fs.Uint64("seed", 1, "deterministic seed")
-		quick   = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
-		events  = fs.Int("events", 0, "override streamed event volume (0 = default)")
-		repeats = fs.Int("repeats", 0, "override measurement repetitions (0 = default)")
-		list    = fs.Bool("list", false, "list available experiments and exit")
+		exp         = fs.String("exp", "all", "experiment to run (fig1, fig4..fig9, table5, table6, ablation, or all)")
+		seed        = fs.Uint64("seed", 1, "deterministic seed")
+		quick       = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+		events      = fs.Int("events", 0, "override streamed event volume (0 = default)")
+		repeats     = fs.Int("repeats", 0, "override measurement repetitions (0 = default)")
+		list        = fs.Bool("list", false, "list available experiments and exit")
+		benchjson   = fs.String("benchjson", "", "run the Evaluate*/Ablation* micro-benchmarks and write results as JSON to this file ('-' for stdout)")
+		benchfilter = fs.String("benchfilter", "", "only run benchmarks whose name contains this substring (with -benchjson)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -46,6 +53,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(experiments.Names(), "\n"))
 		return 0
+	}
+
+	if *benchjson != "" {
+		return runBenchJSON(*benchjson, *benchfilter, stdout, stderr)
 	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Events: *events, Repeats: *repeats}
@@ -61,6 +72,79 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+	return 0
+}
+
+// benchRecord is one benchmark's result in the JSON output. Extra holds
+// the domain metrics reported via b.ReportMetric (samples/window,
+// falseviol/window, ...).
+type benchRecord struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	UnixTime   int64         `json:"unix_time"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// runBenchJSON executes the shared micro-benchmark bodies under
+// testing.Benchmark and writes one JSON document, so CI and analysis
+// scripts can track the Alg. 1 hot path without parsing `go test -bench`
+// text output.
+func runBenchJSON(path, filter string, stdout, stderr io.Writer) int {
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		UnixTime:   time.Now().Unix(),
+	}
+	for _, spec := range bench.Specs() {
+		if filter != "" && !strings.Contains(spec.Name, filter) {
+			continue
+		}
+		fmt.Fprintf(stderr, "bench %-36s", spec.Name)
+		r := testing.Benchmark(spec.Fn)
+		rec := benchRecord{
+			Name:        spec.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			rec.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				rec.Extra[k] = v
+			}
+		}
+		fmt.Fprintf(stderr, " %12.1f ns/op %8d allocs/op\n", rec.NsPerOp, rec.AllocsPerOp)
+		report.Benchmarks = append(report.Benchmarks, rec)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "soundbench: %v\n", err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = stdout.Write(buf)
+	} else {
+		err = os.WriteFile(path, buf, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "soundbench: %v\n", err)
+		return 1
 	}
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -35,6 +36,35 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown experiment") {
 		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-benchjson", "-", "-benchfilter", "EvaluatePointCheck"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	var report struct {
+		GoVersion  string `json:"go_version"`
+		Benchmarks []struct {
+			Name       string  `json:"name"`
+			Iterations int     `json:"iterations"`
+			NsPerOp    float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if report.GoVersion == "" || len(report.Benchmarks) != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "EvaluatePointCheck" || b.Iterations <= 0 || b.NsPerOp <= 0 {
+		t.Errorf("benchmark record = %+v", b)
 	}
 }
 

@@ -23,7 +23,7 @@ func ExampleCheck_Run() {
 		SeriesNames: []string{"sensor"},
 		Window:      sound.PointWindow{},
 	}
-	eval, _ := sound.NewEvaluator(sound.Params{Credibility: 0.95, MaxSamples: 100}, 1)
+	eval, _ := sound.NewEvaluator(sound.Params{Credibility: 0.95, MaxSamples: 100}, 4)
 	results, _ := check.Run(eval, []sound.Series{data})
 	for _, r := range results {
 		fmt.Printf("t=%g: %v\n", r.Window.Start, r.Outcome)

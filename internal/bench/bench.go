@@ -1,0 +1,217 @@
+// Package bench holds the micro-benchmark bodies for the Alg. 1 hot path
+// and its ablations in library form, so the same workloads can run both
+// under `go test -bench` (via the delegating Benchmark* functions in the
+// repo root) and inside cmd/soundbench, which executes them with
+// testing.Benchmark and emits machine-readable JSON.
+package bench
+
+import (
+	"testing"
+
+	"sound"
+)
+
+// Spec names one benchmark workload. Variants of an ablation appear as
+// separate specs with the conventional "Parent/variant" name so JSON
+// output matches `go test -bench` reporting.
+type Spec struct {
+	Name string
+	Fn   func(*testing.B)
+}
+
+// Specs returns the benchmark workloads covered by soundbench's JSON
+// output: the core Evaluate* paths and the DESIGN.md §5 ablations.
+func Specs() []Spec {
+	return []Spec{
+		{"EvaluatePointCheck", EvaluatePointCheck},
+		{"EvaluateSequenceCheck", EvaluateSequenceCheck},
+		{"EvaluateAllParallel", EvaluateAllParallel},
+		{"AblationEarlyStop/adaptive", func(b *testing.B) { AblationEarlyStop(b, 1) }},
+		{"AblationEarlyStop/fixedN", func(b *testing.B) { AblationEarlyStop(b, 100) }},
+		{"AblationBlockBootstrap/block", func(b *testing.B) { AblationBlockBootstrap(b, true) }},
+		{"AblationBlockBootstrap/iid", func(b *testing.B) { AblationBlockBootstrap(b, false) }},
+		{"AblationDecisionRule/credible95", func(b *testing.B) { AblationDecisionRule(b, 0.95) }},
+		{"AblationDecisionRule/pointEstimate", func(b *testing.B) { AblationDecisionRule(b, 0.05) }},
+	}
+}
+
+// EvaluatePointCheck measures the core evaluation loop on a single
+// certain point — the deterministic-collapse fast path.
+func EvaluatePointCheck(b *testing.B) {
+	data := sound.FromValues(50)
+	c := sound.Range(0, 100)
+	eval, err := sound.NewEvaluator(sound.DefaultParams(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuple := sound.PointWindow{}.Windows([]sound.Series{data})[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.Evaluate(c, tuple)
+	}
+}
+
+// EvaluateSequenceCheck measures a windowed sequence evaluation (block
+// bootstrap + correlation) on a 64-point binary window.
+func EvaluateSequenceCheck(b *testing.B) {
+	n := 64
+	x := make(sound.Series, n)
+	y := make(sound.Series, n)
+	for i := range x {
+		x[i] = sound.Point{T: float64(i), V: float64(i), SigUp: 1, SigDown: 1}
+		y[i] = sound.Point{T: float64(i), V: float64(i) + 5, SigUp: 1, SigDown: 1}
+	}
+	c := sound.CorrelationAbove(0.2)
+	eval, err := sound.NewEvaluator(sound.DefaultParams(), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuple := sound.GlobalWindow{}.Windows([]sound.Series{x, y})[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.Evaluate(c, tuple)
+	}
+}
+
+// EvaluateAllParallel measures the pooled-evaluator parallel path over
+// 500 uncertain point windows; allocs/op tracks the O(workers) pooling
+// claim.
+func EvaluateAllParallel(b *testing.B) {
+	s := make(sound.Series, 500)
+	for i := range s {
+		s[i] = sound.Point{T: float64(i), V: 10, SigUp: 1, SigDown: 1}
+	}
+	params := sound.Params{Credibility: 0.95, MaxSamples: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sound.EvaluateAllParallel(sound.GreaterThan(5), sound.PointWindow{}, []sound.Series{s}, params, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// clearCutSeries returns an uncertain series whose range check is
+// clear-cut for every point: the case where adaptive early stopping
+// should save nearly all of the sampling budget.
+func clearCutSeries(n int) sound.Series {
+	s := make(sound.Series, n)
+	for i := range s {
+		s[i] = sound.Point{T: float64(i), V: 50, SigUp: 2, SigDown: 2}
+	}
+	return s
+}
+
+// AblationEarlyStop compares Alg. 1's adaptive decision rule
+// (checkInterval = 1) against a fixed-budget variant that decides only
+// after all N samples (checkInterval = N). The samples/window metric
+// shows the adaptive rule consuming a fraction of the budget.
+func AblationEarlyStop(b *testing.B, checkInterval int) {
+	data := clearCutSeries(64)
+	check := sound.Check{
+		Name:        "range",
+		Constraint:  sound.Range(0, 100),
+		SeriesNames: []string{"s"},
+		Window:      sound.PointWindow{},
+	}
+	params := sound.Params{Credibility: 0.95, MaxSamples: 100, CheckInterval: checkInterval}
+	eval, err := sound.NewEvaluator(params, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := 0
+	windows := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := check.Run(eval, []sound.Series{data})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			samples += r.Samples
+			windows++
+		}
+	}
+	b.ReportMetric(float64(samples)/float64(windows), "samples/window")
+}
+
+// AblationBlockBootstrap compares the block bootstrap against a naive
+// i.i.d. bootstrap for a sequence constraint on autocorrelated data. The
+// falseviol/window metric is the rate of spurious violations on a
+// genuinely monotone series — the failure mode the block bootstrap
+// bounds and E6 controls.
+func AblationBlockBootstrap(b *testing.B, block bool) {
+	n := 64
+	data := make(sound.Series, n)
+	for i := range data {
+		data[i] = sound.Point{T: float64(i), V: float64(i) * 10, SigUp: 0.01, SigDown: 0.01}
+	}
+	constraint := sound.MonotonicIncrease(false) // sequence constraint: block bootstrap
+	if !block {
+		constraint.Orderedness = sound.Set // forces the i.i.d. bootstrap strategy
+	}
+	check := sound.Check{
+		Name:        "mono",
+		Constraint:  constraint,
+		SeriesNames: []string{"s"},
+		Window:      sound.CountWindow{Size: 16},
+	}
+	eval, err := sound.NewEvaluator(sound.Params{Credibility: 0.95, MaxSamples: 100}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	falseViol, windows := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := check.Run(eval, []sound.Series{data})
+		if err != nil {
+			b.Fatal(err)
+		}
+		results = sound.ControlE6(constraint, results)
+		for _, r := range results {
+			windows++
+			if r.Outcome == sound.Violated {
+				falseViol++
+			}
+		}
+	}
+	b.ReportMetric(float64(falseViol)/float64(windows), "falseviol/window")
+}
+
+// AblationDecisionRule compares the credible-interval decision rule
+// against an aggressive near-point-estimate rule (c = 0.05) on a
+// borderline window. The falseconcl/window metric counts conclusions
+// drawn on data that only supports ⊣.
+func AblationDecisionRule(b *testing.B, credibility float64) {
+	borderline := sound.Series{{T: 0, V: 10, SigUp: 5, SigDown: 5}}
+	check := sound.Check{
+		Name:        "gt",
+		Constraint:  sound.GreaterThan(10),
+		SeriesNames: []string{"s"},
+		Window:      sound.PointWindow{},
+	}
+	eval, err := sound.NewEvaluator(sound.Params{Credibility: credibility, MaxSamples: 100}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	falseConcl, windows := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := check.Run(eval, []sound.Series{borderline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			windows++
+			if r.Outcome != sound.Inconclusive {
+				falseConcl++
+			}
+		}
+	}
+	b.ReportMetric(float64(falseConcl)/float64(windows), "falseconcl/window")
+}

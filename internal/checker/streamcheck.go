@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"math"
 	"sync/atomic"
 
 	"sound/internal/core"
@@ -274,5 +275,8 @@ func windowStart(t, size float64) float64 {
 	if size <= 0 {
 		return t
 	}
-	return float64(int64(t/size)) * size
+	// Floor, not truncation: int64(t/size) rounds toward zero, which
+	// would shift negative event times into the window one slot too late
+	// (e.g. t = −1, size = 10 belongs to [−10, 0), not [0, 10)).
+	return math.Floor(t/size) * size
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sound/internal/stat"
+)
+
+// decisionBounds holds the precomputed sequential-decision thresholds of
+// Alg. 1 for one parameter set (see stat.SequentialBounds): after i
+// samples with s satisfied, the evaluator concludes ⊤ iff
+// s ≥ acceptAt[i] and ⊥ iff s ≤ rejectAt[i]. This turns the per-sample
+// decision rule from a Beta quantile bisection into two integer
+// comparisons.
+type decisionBounds struct {
+	acceptAt, rejectAt []int
+	// Terminal credible intervals, precomputed so concluding a window
+	// needs no quantile work at all. With CheckInterval = 1 the satisfied
+	// count sits exactly on the boundary when the rule first fires, so
+	// acceptCI[i]/rejectCI[i] cover early stops and exhaustCI[s] covers
+	// running out of budget at sample N; larger check intervals or a
+	// burn-in can overshoot the boundary and fall back to a direct
+	// computation. Entries at sentinel boundaries stay zero and are never
+	// read.
+	acceptCI, rejectCI, exhaustCI [][2]float64
+	// priorLower/priorUpper is the prior's credible interval, reported
+	// for windows with no data.
+	priorLower, priorUpper float64
+}
+
+// The boundary table depends only on (prior, credibility, N), so it is
+// shared process-wide: sequential evaluators, EvaluateAllParallel
+// workers, and stream checkers with the same Params all reuse one table.
+type boundsKey struct {
+	alpha, beta, cred float64
+	maxSamples        int
+}
+
+var (
+	boundsCache sync.Map // boundsKey → *decisionBounds
+	boundsCount atomic.Int64
+)
+
+// boundsCacheLimit bounds cache growth for adversarial parameter churn;
+// real deployments use a handful of parameter sets.
+const boundsCacheLimit = 1024
+
+// boundsFor returns the shared decision table for normalized params,
+// computing and caching it on first use. Concurrent first uses may
+// compute the table redundantly; the result is identical either way.
+func boundsFor(p Params) *decisionBounds {
+	key := boundsKey{alpha: p.PriorAlpha, beta: p.PriorBeta, cred: p.Credibility, maxSamples: p.MaxSamples}
+	if v, ok := boundsCache.Load(key); ok {
+		return v.(*decisionBounds)
+	}
+	accept, reject := stat.SequentialBounds(p.PriorAlpha, p.PriorBeta, p.Credibility, p.MaxSamples)
+	b := &decisionBounds{
+		acceptAt:  accept,
+		rejectAt:  reject,
+		acceptCI:  make([][2]float64, p.MaxSamples+1),
+		rejectCI:  make([][2]float64, p.MaxSamples+1),
+		exhaustCI: make([][2]float64, p.MaxSamples+1),
+	}
+	ci := func(s, i int) [2]float64 {
+		lo, hi := stat.Beta{Alpha: p.PriorAlpha + float64(s), Beta: p.PriorBeta + float64(i-s)}.CredibleInterval(p.Credibility)
+		return [2]float64{lo, hi}
+	}
+	b.priorLower, b.priorUpper = stat.Beta{Alpha: p.PriorAlpha, Beta: p.PriorBeta}.CredibleInterval(p.Credibility)
+	for i := 1; i <= p.MaxSamples; i++ {
+		if accept[i] <= i {
+			b.acceptCI[i] = ci(accept[i], i)
+		}
+		if reject[i] >= 0 {
+			b.rejectCI[i] = ci(reject[i], i)
+		}
+	}
+	for s := 0; s <= p.MaxSamples; s++ {
+		b.exhaustCI[s] = ci(s, p.MaxSamples)
+	}
+	if boundsCount.Load() >= boundsCacheLimit {
+		return b
+	}
+	if v, loaded := boundsCache.LoadOrStore(key, b); loaded {
+		return v.(*decisionBounds)
+	}
+	boundsCount.Add(1)
+	return b
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"sound/internal/series"
+	"sound/internal/stat"
+)
+
+// directRule replays Alg. 1's decision schedule with per-check
+// CredibleInterval calls — the rule the boundary tables replaced — on a
+// pre-recorded sequence of constraint verdicts. It is the reference for
+// the parity tests below.
+func directRule(p Params, verdicts []bool) Result {
+	var res Result
+	countSatisfied := 0
+	for i := 1; i <= p.MaxSamples; i++ {
+		if verdicts[i-1] {
+			countSatisfied++
+		}
+		res.Samples = i
+		if i < p.MinSamples {
+			continue
+		}
+		if i%p.CheckInterval != 0 && i != p.MaxSamples {
+			continue
+		}
+		post := stat.Beta{Alpha: p.PriorAlpha + float64(countSatisfied), Beta: p.PriorBeta + float64(i-countSatisfied)}
+		lower, upper := post.CredibleInterval(p.Credibility)
+		res.Lower, res.Upper = lower, upper
+		if lower > 0.5 {
+			res.Outcome = Satisfied
+			break
+		}
+		if upper < 0.5 {
+			res.Outcome = Violated
+			break
+		}
+	}
+	res.SatisfiedCount = countSatisfied
+	res.ViolationProb = 1 - (p.PriorAlpha+float64(countSatisfied))/(p.PriorAlpha+p.PriorBeta+float64(res.Samples))
+	return res
+}
+
+func sameDecision(a, b Result) bool {
+	return a.Outcome == b.Outcome && a.Samples == b.Samples &&
+		a.SatisfiedCount == b.SatisfiedCount && a.ViolationProb == b.ViolationProb &&
+		a.Lower == b.Lower && a.Upper == b.Upper
+}
+
+// TestEvaluateMatchesDirectRule proves the tentpole's parity claim on
+// stochastic evaluations: the boundary-table evaluator and a direct
+// quantile-rule replay of the same resample verdicts produce
+// bit-identical results — outcome, stopping time, counts, and the
+// terminal credible interval — across parameterizations that exercise
+// the precomputed-CI shortcut (CheckInterval 1) and the overshoot
+// fallback (CheckInterval > 1, burn-in).
+func TestEvaluateMatchesDirectRule(t *testing.T) {
+	paramSets := []Params{
+		{Credibility: 0.95, MaxSamples: 100},
+		{Credibility: 0.99, MaxSamples: 60, PriorAlpha: 2, PriorBeta: 5},
+		{Credibility: 0.9, MaxSamples: 80, CheckInterval: 3},
+		{Credibility: 0.95, MaxSamples: 50, MinSamples: 10},
+	}
+	for pi, params := range paramSets {
+		for seed := uint64(1); seed <= 20; seed++ {
+			// A borderline uncertain point: verdicts flip draw to draw, so
+			// every (s, i) trajectory region gets visited across seeds.
+			w := WindowTuple{Windows: []series.Series{{{T: 0, V: 10, SigUp: 4, SigDown: 4}}}}
+			c := GreaterThan(10)
+
+			e := MustEvaluator(params, seed)
+			got := e.Evaluate(c, w)
+
+			// Replay the identical draw stream: a same-seed evaluator's
+			// resampler produces the same perturbations in the same order.
+			ref := MustEvaluator(params, seed)
+			rs := ref.resampler(c.Strategy())
+			rs.Prime(w.Windows)
+			p := ref.Params()
+			verdicts := make([]bool, p.MaxSamples)
+			for i := range verdicts {
+				verdicts[i] = c.Eval(rs.Draw(w.Windows))
+			}
+			want := directRule(p, verdicts)
+
+			if !sameDecision(got, want) {
+				t.Errorf("params[%d] seed %d: table rule %+v, direct rule %+v", pi, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestCertainFastPathMatchesDirectRule checks the deterministic-collapse
+// fast path: all-certain point windows must yield exactly what the
+// sampling loop plus direct rule would, for both constant verdicts.
+func TestCertainFastPathMatchesDirectRule(t *testing.T) {
+	for _, params := range []Params{
+		{Credibility: 0.95, MaxSamples: 100},
+		{Credibility: 0.999, MaxSamples: 40, PriorAlpha: 3, PriorBeta: 1},
+		{Credibility: 0.9, MaxSamples: 30, CheckInterval: 4, MinSamples: 5},
+	} {
+		for _, sat := range []bool{true, false} {
+			v := 20.0
+			if !sat {
+				v = 1.0
+			}
+			w := WindowTuple{Windows: []series.Series{{{T: 0, V: v}}}}
+			e := MustEvaluator(params, 9)
+			got := e.Evaluate(GreaterThan(10), w)
+
+			p := e.Params()
+			verdicts := make([]bool, p.MaxSamples)
+			for i := range verdicts {
+				verdicts[i] = sat
+			}
+			want := directRule(p, verdicts)
+			if !sameDecision(got, want) {
+				t.Errorf("sat=%v %+v: fast path %+v, direct rule %+v", sat, params, got, want)
+			}
+		}
+	}
+}
+
+// TestReseedMatchesFreshEvaluator checks the pooling contract: a single
+// evaluator reseeded between windows is indistinguishable from a fresh
+// evaluator per window, including across strategy switches that reuse
+// lazily split resampler streams.
+func TestReseedMatchesFreshEvaluator(t *testing.T) {
+	params := Params{Credibility: 0.95, MaxSamples: 100}
+	seq := GreaterThan(9)
+	seq.Granularity = WindowTime
+	cases := []struct {
+		c Constraint
+		w WindowTuple
+	}{
+		{GreaterThan(9), WindowTuple{Windows: []series.Series{{{T: 0, V: 10, SigUp: 3, SigDown: 3}}}}},
+		{seq, WindowTuple{Windows: []series.Series{{
+			{T: 0, V: 10, SigUp: 2, SigDown: 1}, {T: 1, V: 12, SigUp: 2, SigDown: 2}, {T: 2, V: 8, SigUp: 1, SigDown: 1},
+		}}}},
+		{GreaterThan(9), WindowTuple{Windows: []series.Series{{{T: 0, V: 9.5, SigUp: 1, SigDown: 4}}}}},
+	}
+	pooled := MustEvaluator(params, 0)
+	for round := 0; round < 3; round++ {
+		for i, tc := range cases {
+			seed := uint64(round*len(cases)+i)*0x9e3779b97f4a7c15 + 1
+			pooled.Reseed(seed)
+			got := pooled.Evaluate(tc.c, tc.w)
+			want := MustEvaluator(params, seed).Evaluate(tc.c, tc.w)
+			if !sameDecision(got, want) {
+				t.Errorf("round %d case %d: pooled %+v, fresh %+v", round, i, got, want)
+			}
+		}
+	}
+}

@@ -104,6 +104,12 @@ type Evaluator struct {
 	r      *rng.Rand
 	// resamplers per strategy, created lazily and reused across calls.
 	rs [3]*resample.Resampler
+	// rsStale marks resamplers whose stream must be re-derived from r on
+	// next use after a Reseed; deriving lazily reproduces the split order
+	// of a freshly constructed evaluator.
+	rsStale [3]bool
+	// bounds is the shared precomputed decision table for params.
+	bounds *decisionBounds
 	// ciCache memoizes credible intervals by observation counts: the
 	// posterior depends only on (satisfied, violated), and point checks
 	// revisit the same counts for every window.
@@ -116,7 +122,7 @@ func NewEvaluator(params Params, seed uint64) (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Evaluator{params: p, r: rng.New(seed)}, nil
+	return &Evaluator{params: p, r: rng.New(seed), bounds: boundsFor(p)}, nil
 }
 
 // MustEvaluator is NewEvaluator that panics on invalid parameters, for
@@ -131,6 +137,19 @@ func MustEvaluator(params Params, seed uint64) *Evaluator {
 
 // Params returns the normalized evaluation parameters.
 func (e *Evaluator) Params() Params { return e.params }
+
+// Reseed resets the evaluator's random state to that of a freshly
+// constructed NewEvaluator(params, seed), keeping allocated buffers, the
+// shared decision table, and the credible-interval cache (both are pure
+// functions of params, so reuse cannot change results). It makes pooled
+// evaluators — one per worker, reseeded per window — produce results
+// identical to a per-window evaluator without per-window allocation.
+func (e *Evaluator) Reseed(seed uint64) {
+	e.r.Reseed(seed)
+	for i := range e.rs {
+		e.rsStale[i] = e.rs[i] != nil
+	}
+}
 
 // Evaluate runs γ(φ, wᵏ, c, N) on one window tuple (paper Alg. 1).
 //
@@ -147,41 +166,96 @@ func (e *Evaluator) Evaluate(c Constraint, w WindowTuple) Result {
 	res := Result{Window: w}
 	if empty(w.Windows) {
 		res.ViolationProb = 0.5
-		lo, hi := stat.Beta{Alpha: e.params.PriorAlpha, Beta: e.params.PriorBeta}.CredibleInterval(e.params.Credibility)
-		res.Lower, res.Upper = lo, hi
+		res.Lower, res.Upper = e.bounds.priorLower, e.bounds.priorUpper
 		return res
 	}
 	rs := e.resampler(c.Strategy())
+	rs.Prime(w.Windows)
 
+	// The decision rule of Alg. 1 runs on the precomputed boundary table:
+	// two integer comparisons per check instead of a Beta quantile
+	// bisection (see decisionBounds).
 	countSatisfied := 0
-	prior := stat.Beta{Alpha: e.params.PriorAlpha, Beta: e.params.PriorBeta}
-	var post stat.Beta
+	accept, reject := e.bounds.acceptAt, e.bounds.rejectAt
+	if c.Strategy() == resample.Point && rs.PrimedAllCertain() {
+		// Point resampling of all-certain windows returns the raw values
+		// on every draw and consumes no randomness, so the constraint
+		// verdict is the same for all N samples: evaluate it once and
+		// replay the decision schedule on the boundary table. Exactly
+		// mirrors the sampling loop below, at O(1) per sample.
+		sat := c.Eval(rs.Draw(w.Windows))
+		for i := 1; i <= e.params.MaxSamples; i++ {
+			if sat {
+				countSatisfied = i
+			}
+			res.Samples = i
+			if i < e.params.MinSamples {
+				continue
+			}
+			if i%e.params.CheckInterval != 0 && i != e.params.MaxSamples {
+				continue
+			}
+			if countSatisfied >= accept[i] {
+				res.Outcome = Satisfied
+				break
+			}
+			if countSatisfied <= reject[i] {
+				res.Outcome = Violated
+				break
+			}
+		}
+		return e.finish(res, countSatisfied)
+	}
 	for i := 1; i <= e.params.MaxSamples; i++ {
 		sample := rs.Draw(w.Windows)
 		if c.Eval(sample) {
 			countSatisfied++
 		}
 		res.Samples = i
-		post = prior.Observe(countSatisfied, i-countSatisfied)
 		if i < e.params.MinSamples {
 			continue
 		}
 		if i%e.params.CheckInterval != 0 && i != e.params.MaxSamples {
 			continue
 		}
-		lower, upper := e.credibleInterval(countSatisfied, i-countSatisfied, post)
-		res.Lower, res.Upper = lower, upper
-		if lower > 0.5 {
+		if countSatisfied >= accept[i] {
 			res.Outcome = Satisfied
 			break
 		}
-		if upper < 0.5 {
+		if countSatisfied <= reject[i] {
 			res.Outcome = Violated
 			break
 		}
 	}
-	res.SatisfiedCount = countSatisfied
-	res.ViolationProb = 1 - post.Mean()
+	return e.finish(res, countSatisfied)
+}
+
+// finish fills the posterior summary of a terminated evaluation: the
+// satisfied count, violation probability, and the credible interval the
+// decision rule saw at its last check (from the precomputed terminal
+// tables whenever the count sits on a boundary, which it always does
+// with CheckInterval = 1).
+func (e *Evaluator) finish(res Result, countSatisfied int) Result {
+	b := e.bounds
+	s, n := countSatisfied, res.Samples
+	switch {
+	case res.Outcome == Satisfied && s == b.acceptAt[n]:
+		res.Lower, res.Upper = b.acceptCI[n][0], b.acceptCI[n][1]
+	case res.Outcome == Violated && s == b.rejectAt[n]:
+		res.Lower, res.Upper = b.rejectCI[n][0], b.rejectCI[n][1]
+	case res.Outcome == Inconclusive && n == e.params.MaxSamples && n >= e.params.MinSamples:
+		res.Lower, res.Upper = b.exhaustCI[s][0], b.exhaustCI[s][1]
+	case n >= e.params.MinSamples:
+		// Boundary overshoot (CheckInterval > 1 or a burn-in): compute
+		// the interval the last check saw directly, memoized by counts.
+		post := stat.Beta{Alpha: e.params.PriorAlpha + float64(s), Beta: e.params.PriorBeta + float64(n-s)}
+		res.Lower, res.Upper = e.credibleInterval(s, n-s, post)
+	default:
+		// MinSamples > MaxSamples: no check ever ran; the interval stays
+		// at its zero value, matching the direct rule.
+	}
+	res.SatisfiedCount = s
+	res.ViolationProb = 1 - (e.params.PriorAlpha+float64(s))/(e.params.PriorAlpha+e.params.PriorBeta+float64(n))
 	return res
 }
 
@@ -221,7 +295,10 @@ func (e *Evaluator) resampler(s resample.Strategy) *resample.Resampler {
 		if s == resample.Sequence && e.params.BlockSize > 0 {
 			e.rs[s].SetBlockSize(e.params.BlockSize)
 		}
+	} else if e.rsStale[s] {
+		e.rs[s].Reseed(e.r)
 	}
+	e.rsStale[s] = false
 	return e.rs[s]
 }
 

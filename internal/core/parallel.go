@@ -9,15 +9,16 @@ import (
 
 // EvaluateAllParallel evaluates a constraint over all window tuples of a
 // windowing function using up to workers goroutines (0 selects
-// GOMAXPROCS). Every window is evaluated with a private, per-window
-// seeded evaluator, so the results are deterministic for a fixed
+// GOMAXPROCS). Every window is evaluated under a private, per-window
+// derived seed, so the results are deterministic for a fixed
 // (params, seed) pair and *independent of the worker count*.
 //
 // Window evaluations are independent (paper §IV-B: "the evaluation of
 // the constraint function is done per k-valued window independently"),
 // which makes this the natural scale-out for large offline audits.
 func EvaluateAllParallel(c Constraint, win Windower, ss []series.Series, params Params, seed uint64, workers int) ([]Result, error) {
-	if _, err := params.normalized(); err != nil {
+	p, err := params.normalized()
+	if err != nil {
 		return nil, err
 	}
 	tuples := win.Windows(ss)
@@ -37,10 +38,14 @@ func EvaluateAllParallel(c Constraint, win Windower, ss []series.Series, params 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled evaluator per worker (params pre-normalized, so
+			// construction cannot fail), reseeded per window from the
+			// window index alone: allocations stay O(workers) while the
+			// per-window streams — and therefore the results — stay
+			// independent of the worker count.
+			e := MustEvaluator(p, 0)
 			for i := w; i < len(tuples); i += workers {
-				// A per-window evaluator keeps results independent of
-				// the worker count while remaining deterministic.
-				e := MustEvaluator(params, seed^(uint64(i)*0x9e3779b97f4a7c15+1))
+				e.Reseed(seed ^ (uint64(i)*0x9e3779b97f4a7c15 + 1))
 				out[i] = e.Evaluate(c, tuples[i])
 			}
 		}()

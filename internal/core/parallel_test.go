@@ -1,11 +1,17 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"sound/internal/series"
 )
 
+// TestEvaluateAllParallelMatchesAcrossWorkerCounts requires bit-identical
+// results — every Result field, not just the outcome — for any worker
+// count, including the sequential case and more workers than cores. This
+// pins down the pooled-evaluator contract: per-window reseeding must make
+// evaluator reuse invisible.
 func TestEvaluateAllParallelMatchesAcrossWorkerCounts(t *testing.T) {
 	s := make(series.Series, 200)
 	for i := range s {
@@ -16,7 +22,7 @@ func TestEvaluateAllParallelMatchesAcrossWorkerCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{2, 4, 16, 0} {
+	for _, workers := range []int{2, 7, 16, runtime.GOMAXPROCS(0), 0} {
 		got, err := EvaluateAllParallel(GreaterThan(9), PointWindow{}, []series.Series{s}, params, 7, workers)
 		if err != nil {
 			t.Fatal(err)
@@ -25,9 +31,37 @@ func TestEvaluateAllParallelMatchesAcrossWorkerCounts(t *testing.T) {
 			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(ref))
 		}
 		for i := range ref {
-			if got[i].Outcome != ref[i].Outcome || got[i].Samples != ref[i].Samples {
-				t.Fatalf("workers=%d: window %d diverged: %+v vs %+v", workers, i, got[i], ref[i])
+			g, r := got[i], ref[i]
+			if g.Outcome != r.Outcome || g.Samples != r.Samples ||
+				g.SatisfiedCount != r.SatisfiedCount || g.ViolationProb != r.ViolationProb ||
+				g.Lower != r.Lower || g.Upper != r.Upper {
+				t.Fatalf("workers=%d: window %d diverged: %+v vs %+v", workers, i, g, r)
 			}
+		}
+	}
+}
+
+// TestEvaluateAllParallelMatchesSequentialEvaluator ties the parallel
+// path to the plain per-window evaluation loop with the same seed
+// derivation, so both entry points report identical evidence.
+func TestEvaluateAllParallelMatchesSequentialEvaluator(t *testing.T) {
+	s := make(series.Series, 64)
+	for i := range s {
+		s[i] = series.Point{T: float64(i), V: 9.5 + float64(i%3), SigUp: 1.5, SigDown: 1}
+	}
+	params := Params{Credibility: 0.95, MaxSamples: 60}
+	const seed = 11
+	got, err := EvaluateAllParallel(GreaterThan(9), PointWindow{}, []series.Series{s}, params, seed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := PointWindow{}.Windows([]series.Series{s})
+	for i, w := range tuples {
+		want := MustEvaluator(params, seed^(uint64(i)*0x9e3779b97f4a7c15+1)).Evaluate(GreaterThan(9), w)
+		g := got[i]
+		if g.Outcome != want.Outcome || g.Samples != want.Samples ||
+			g.SatisfiedCount != want.SatisfiedCount || g.Lower != want.Lower || g.Upper != want.Upper {
+			t.Fatalf("window %d: parallel %+v, sequential %+v", i, g, want)
 		}
 	}
 }

@@ -60,9 +60,16 @@ func (s Strategy) String() string {
 // mass — exactly the semantics of an asymmetric error bar (a point just
 // above a threshold with a large downward error is *likely* below it,
 // paper Fig. 1). A certain point (σ↑ = σ↓ = 0) is returned unaltered.
+//
+// A symmetric point (σ↑ = σ↓ = σ) short-circuits to v + σ·N(0,1), which
+// is the same distribution — a fair branch coin on two mirrored
+// half-normals is a plain normal — with one random draw instead of two.
 func PerturbValue(p series.Point, r *rng.Rand) float64 {
 	if p.Certain() {
 		return p.V
+	}
+	if p.SigUp == p.SigDown {
+		return p.V + r.NormFloat64()*p.SigUp
 	}
 	if r.Float64()*(p.SigUp+p.SigDown) < p.SigUp {
 		return p.V + math.Abs(r.NormFloat64())*p.SigUp
@@ -109,6 +116,28 @@ type Resampler struct {
 	blockSize int         // 0 = automatic b = ⌈√n⌉
 	buf       [][]float64 // per-window value buffers, reused
 	idx       []int       // shared index buffer for set/sequence draws
+	meta      []winMeta   // per-window metadata primed for repeated draws
+}
+
+// winMeta caches per-window facts that hold across the many draws of one
+// evaluation: the raw values (so an all-certain window resamples by copy
+// instead of per-point perturbation) and a per-point perturbation code
+// hoisting the split-normal branch weight out of the draw loop:
+//
+//	sum[i] == 0:  certain — emit vals[i] unperturbed
+//	sum[i] < 0:   symmetric, σ = −sum[i] — emit vals[i] + σ·N(0,1)
+//	sum[i] > 0:   asymmetric — branch weight σ↑+σ↓, then a half-normal
+//
+// The (ptr, n) pair identifies the window slice the metadata was
+// computed from; Draw only trusts it for an identical slice, so stale
+// metadata can never be applied to different data that happens to occupy
+// a reused buffer.
+type winMeta struct {
+	ptr        *series.Point
+	n          int
+	allCertain bool
+	vals       []float64
+	sum        []float64
 }
 
 // New returns a Resampler with the given strategy and random source.
@@ -126,6 +155,79 @@ func (rs *Resampler) SetBlockSize(b int) {
 		b = 0
 	}
 	rs.blockSize = b
+}
+
+// Reseed re-derives the resampler's random stream from parent, leaving
+// it exactly as if freshly created with New(strategy, parent.Split())
+// while keeping all allocated buffers. It advances parent.
+func (rs *Resampler) Reseed(parent *rng.Rand) {
+	parent.SplitInto(rs.r)
+}
+
+// Prime precomputes per-window metadata for a run of Draw calls over the
+// same windows (Alg. 1 draws the same tuple up to N times): certainty
+// flags, extracted values, and split-normal branch weights. Priming is
+// optional — Draw verifies slice identity and silently falls back to the
+// unprimed per-point path when the windows differ — but it turns
+// all-certain windows into plain copies and removes a per-point addition
+// from every uncertain draw.
+func (rs *Resampler) Prime(windows []series.Series) {
+	if cap(rs.meta) < len(windows) {
+		rs.meta = make([]winMeta, len(windows))
+	}
+	rs.meta = rs.meta[:len(windows)]
+	for wi, w := range windows {
+		m := &rs.meta[wi]
+		m.n = len(w)
+		m.ptr = nil
+		if len(w) == 0 {
+			m.allCertain = true
+			m.vals = m.vals[:0]
+			continue
+		}
+		m.ptr = &w[0]
+		m.vals = sliceFor(m.vals, len(w))
+		m.sum = sliceFor(m.sum, len(w))
+		m.allCertain = true
+		for i, p := range w {
+			m.vals[i] = p.V
+			switch {
+			case p.Certain():
+				m.sum[i] = 0
+			case p.SigUp == p.SigDown:
+				m.sum[i] = -p.SigUp
+				m.allCertain = false
+			default:
+				m.sum[i] = p.SigUp + p.SigDown
+				m.allCertain = false
+			}
+		}
+	}
+}
+
+// PrimedAllCertain reports whether every window passed to the last Prime
+// call is entirely certain — in which case a Point-strategy Draw returns
+// the raw values and consumes no randomness, so all draws are identical.
+func (rs *Resampler) PrimedAllCertain() bool {
+	for i := range rs.meta {
+		if !rs.meta[i].allCertain {
+			return false
+		}
+	}
+	return true
+}
+
+// primed returns the metadata primed for window slot wi iff it describes
+// exactly the slice w.
+func (rs *Resampler) primed(wi int, w series.Series) *winMeta {
+	if wi >= len(rs.meta) {
+		return nil
+	}
+	m := &rs.meta[wi]
+	if m.n != len(w) || (len(w) > 0 && m.ptr != &w[0]) {
+		return nil
+	}
+	return m
 }
 
 // ForConstraint maps constraint taxonomy traits to the appropriate
@@ -158,6 +260,10 @@ func (rs *Resampler) Draw(windows []series.Series) [][]float64 {
 	case Point:
 		for wi, w := range windows {
 			rs.buf[wi] = sliceFor(rs.buf[wi], len(w))
+			if m := rs.primed(wi, w); m != nil {
+				rs.drawPoint(m, w, rs.buf[wi])
+				continue
+			}
 			for i, p := range w {
 				rs.buf[wi][i] = PerturbValue(p, rs.r)
 			}
@@ -168,6 +274,36 @@ func (rs *Resampler) Draw(windows []series.Series) [][]float64 {
 		rs.drawIndexed(windows, rs.blockIndices)
 	}
 	return rs.buf
+}
+
+// drawPoint perturbs one window using primed metadata. The sampling
+// semantics per point are exactly PerturbValue's (certain points draw
+// nothing), with the branch-weight computation hoisted and the loop body
+// inlined — function-call overhead is measurable at this call rate.
+func (rs *Resampler) drawPoint(m *winMeta, w series.Series, buf []float64) {
+	if m.allCertain {
+		copy(buf, m.vals)
+		return
+	}
+	r := rs.r
+	vals, sums := m.vals, m.sum
+	for i := range w {
+		s := sums[i]
+		if s == 0 {
+			buf[i] = vals[i]
+			continue
+		}
+		if s < 0 {
+			buf[i] = vals[i] - s*r.NormFloat64()
+			continue
+		}
+		p := &w[i]
+		if r.Float64()*s < p.SigUp {
+			buf[i] = p.V + math.Abs(r.NormFloat64())*p.SigUp
+		} else {
+			buf[i] = p.V - math.Abs(r.NormFloat64())*p.SigDown
+		}
+	}
 }
 
 // drawIndexed samples shared indices per alignment group and materializes
@@ -190,17 +326,50 @@ func (rs *Resampler) drawIndexed(windows []series.Series, gen func(n int) []int)
 		idx := gen(n)
 		for wi := 0; wi < k; wi++ {
 			rs.buf[wi] = sliceFor(rs.buf[wi], n)
-			for i, j := range idx {
-				rs.buf[wi][i] = PerturbValue(windows[wi][j], rs.r)
-			}
+			rs.materialize(wi, windows[wi], idx, rs.buf[wi])
 		}
 		return
 	}
 	for wi, w := range windows {
 		idx := gen(len(w))
 		rs.buf[wi] = sliceFor(rs.buf[wi], len(w))
+		rs.materialize(wi, w, idx, rs.buf[wi])
+	}
+}
+
+// materialize fills buf with perturbed values of w at the given indices,
+// taking the primed fast paths when metadata is available.
+func (rs *Resampler) materialize(wi int, w series.Series, idx []int, buf []float64) {
+	m := rs.primed(wi, w)
+	if m == nil {
 		for i, j := range idx {
-			rs.buf[wi][i] = PerturbValue(w[j], rs.r)
+			buf[i] = PerturbValue(w[j], rs.r)
+		}
+		return
+	}
+	if m.allCertain {
+		for i, j := range idx {
+			buf[i] = m.vals[j]
+		}
+		return
+	}
+	r := rs.r
+	vals, sums := m.vals, m.sum
+	for i, j := range idx {
+		s := sums[j]
+		if s == 0 {
+			buf[i] = vals[j]
+			continue
+		}
+		if s < 0 {
+			buf[i] = vals[j] - s*r.NormFloat64()
+			continue
+		}
+		p := &w[j]
+		if r.Float64()*s < p.SigUp {
+			buf[i] = p.V + math.Abs(r.NormFloat64())*p.SigUp
+		} else {
+			buf[i] = p.V - math.Abs(r.NormFloat64())*p.SigDown
 		}
 	}
 }

@@ -396,10 +396,10 @@ func TestAutoBlockSize(t *testing.T) {
 	// Strongly autocorrelated data: blocks must grow beyond √n.
 	ar := make([]float64, 400)
 	for i := 1; i < len(ar); i++ {
-		ar[i] = 0.95*ar[i-1] + r.NormFloat64()
+		ar[i] = 0.97*ar[i-1] + r.NormFloat64()
 	}
 	if got := AutoBlockSize(ar); got <= BlockSize(400) {
-		t.Errorf("AR(0.95) auto block = %d, want > %d", got, BlockSize(400))
+		t.Errorf("AR(0.97) auto block = %d, want > %d", got, BlockSize(400))
 	}
 	if got := AutoBlockSize([]float64{1}); got != 1 {
 		t.Errorf("singleton auto block = %d", got)

@@ -21,6 +21,15 @@ type Rand struct {
 // seeds still produce decorrelated streams.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the receiver in place to the state New(seed) would
+// produce, without allocating. Pooled consumers (e.g. evaluators reused
+// across windows) use it to make results a pure function of the seed
+// again after arbitrary prior draws.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -33,13 +42,21 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Split returns a new generator whose stream is statistically independent
 // of the receiver's. It advances the receiver.
 func (r *Rand) Split() *Rand {
-	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+	c := &Rand{}
+	r.SplitInto(c)
+	return c
+}
+
+// SplitInto reseeds child from the receiver's stream: child ends up in
+// exactly the state r.Split() would have returned, but no allocation
+// happens. It advances the receiver.
+func (r *Rand) SplitInto(child *Rand) {
+	child.Reseed(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -97,18 +114,99 @@ func mul64(x, y uint64) (hi, lo uint64) {
 	return
 }
 
-// NormFloat64 returns a standard normal variate using the polar
-// (Marsaglia) method.
+// Ziggurat tables for NormFloat64 (Marsaglia & Tsang 2000), built at
+// init from the unnormalized half-normal density f(x) = exp(-x²/2)
+// rather than hard-coded. With znLayers = 128 equal-area layers the
+// rightmost layer starts at znR; the layer area znV is derived from znR
+// via the exact Gaussian tail integral.
+const (
+	znLayers = 128
+	znR      = 3.442619855899 // x coordinate of the base layer's right edge
+)
+
+var (
+	znX [znLayers]float64 // slab right edges, decreasing; znX[127] = 0
+	znF [znLayers]float64 // f(znX[j]), increasing; znF[127] = 1
+	znW [znLayers]float64 // horizontal draw scale per layer index
+)
+
+func init() {
+	f := func(x float64) float64 { return math.Exp(-0.5 * x * x) }
+	// Layer area: base box plus the tail mass beyond znR.
+	tail := math.Sqrt(math.Pi/2) * math.Erfc(znR/math.Sqrt2)
+	v := znR*f(znR) + tail
+	znX[0], znF[0] = znR, f(znR)
+	for j := 1; j < znLayers-1; j++ {
+		// Equal slab areas: (f[j] − f[j−1]) · x[j−1] = v.
+		znF[j] = znF[j-1] + v/znX[j-1]
+		znX[j] = math.Sqrt(-2 * math.Log(znF[j]))
+	}
+	// znR is chosen so the recurrence tops out at the density's maximum.
+	znX[znLayers-1], znF[znLayers-1] = 0, 1
+	// Layer 0 is the base box plus tail; over-draw its box to width
+	// v/f(znR) so a draw beyond znR maps to the tail with the right
+	// probability. Layer L ≥ 1 is slab j = L−1: x ∈ [0, x[j]],
+	// y ∈ [f[j], f[j+1]].
+	znW[0] = v / znF[0]
+	for L := 1; L < znLayers; L++ {
+		znW[L] = znX[L-1]
+	}
+}
+
+// NormFloat64 returns a standard normal variate using the ziggurat
+// method. One uniform draw suffices ~97% of the time, which matters
+// because value perturbation calls this once per uncertain point per
+// resample (the hottest loop in the system).
 func (r *Rand) NormFloat64() float64 {
 	for {
-		u := 2*r.Float64() - 1
-		v := 2*r.Float64() - 1
-		s := u*u + v*v
-		if s >= 1 || s == 0 {
+		u := r.Uint64()
+		L := int(u & (znLayers - 1)) // layer index: low 7 bits
+		neg := u&znLayers != 0       // sign: bit 7
+		// Bits 11..63 form the uniform; they do not overlap the 8 bits
+		// used above.
+		x := float64(u>>11) / (1 << 53) * znW[L]
+		if L > 0 {
+			// Slab j = L−1. Inside the curve for sure when x < x[j+1].
+			if x < znX[L] {
+				if neg {
+					return -x
+				}
+				return x
+			}
+			// Wedge between the slab box and the curve.
+			if znF[L-1]+(znF[L]-znF[L-1])*r.Float64() < math.Exp(-0.5*x*x) {
+				if neg {
+					return -x
+				}
+				return x
+			}
 			continue
 		}
-		return u * math.Sqrt(-2*math.Log(s)/s)
+		if x < znR {
+			if neg {
+				return -x
+			}
+			return x
+		}
+		// Tail beyond znR: Marsaglia's exponential wedge.
+		for {
+			ex := -math.Log(nonZero(r.Float64())) / znR
+			ey := -math.Log(nonZero(r.Float64()))
+			if ey+ey >= ex*ex {
+				if neg {
+					return -(znR + ex)
+				}
+				return znR + ex
+			}
+		}
 	}
+}
+
+func nonZero(u float64) float64 {
+	if u == 0 {
+		return 0.5 // measure-zero guard; any fixed value in (0,1) works
+	}
+	return u
 }
 
 // ExpFloat64 returns an exponential variate with rate 1.

@@ -1,0 +1,46 @@
+package stat
+
+import "sort"
+
+// SequentialBounds precomputes the decision boundaries of SOUND's
+// sequential credible-interval rule (paper Alg. 1) for a Beta(alpha,
+// beta) prior, credibility level c, and sample budget n.
+//
+// After i samples with s satisfied, Alg. 1 concludes ⊤ when the lower
+// bound of the equal-tailed credible interval of Beta(alpha+s,
+// beta+i−s) exceeds 0.5 and ⊥ when the upper bound falls below 0.5.
+// Both interval endpoints are strictly increasing in s for fixed i (one
+// more success makes the posterior stochastically larger), so each
+// decision region is a half-line in s and the whole rule collapses to
+// two integer thresholds per i:
+//
+//	conclude ⊤  iff  s ≥ acceptAt[i]
+//	conclude ⊥  iff  s ≤ rejectAt[i]
+//
+// acceptAt[i] is i+1 and rejectAt[i] is −1 when no count can conclude
+// at i. Index 0 carries those sentinels too: Alg. 1 never decides
+// before the first sample. The thresholds are found by binary search in
+// s per i, so construction costs O(n log n) quantile evaluations
+// instead of the O(n) per-evaluation quantile bisections it replaces.
+//
+// The searches call the exact same CredibleInterval used by the direct
+// rule, so the table reproduces its decisions bit for bit.
+func SequentialBounds(alpha, beta, c float64, n int) (acceptAt, rejectAt []int) {
+	acceptAt = make([]int, n+1)
+	rejectAt = make([]int, n+1)
+	acceptAt[0], rejectAt[0] = 1, -1
+	for i := 1; i <= n; i++ {
+		acceptAt[i] = sort.Search(i+1, func(s int) bool {
+			lower, _ := Beta{Alpha: alpha + float64(s), Beta: beta + float64(i-s)}.CredibleInterval(c)
+			return lower > 0.5
+		})
+		if acceptAt[i] > i {
+			acceptAt[i] = i + 1 // sentinel: unreachable count
+		}
+		rejectAt[i] = sort.Search(i+1, func(s int) bool {
+			_, upper := Beta{Alpha: alpha + float64(s), Beta: beta + float64(i-s)}.CredibleInterval(c)
+			return !(upper < 0.5)
+		}) - 1
+	}
+	return acceptAt, rejectAt
+}

@@ -1,0 +1,66 @@
+package stat
+
+import "testing"
+
+// TestSequentialBoundsMatchDirectRule checks, exhaustively over every
+// reachable (s, i) state with i ≤ n, that the precomputed thresholds
+// reproduce the direct credible-interval rule: conclude ⊤ iff the
+// interval's lower bound exceeds 0.5 and ⊥ iff its upper bound falls
+// below 0.5. Several priors and credibilities cover symmetric,
+// optimistic, pessimistic, and diffuse cases.
+func TestSequentialBoundsMatchDirectRule(t *testing.T) {
+	cases := []struct {
+		alpha, beta, cred float64
+	}{
+		{1, 1, 0.95},
+		{1, 1, 0.99},
+		{1, 1, 0.5},
+		{2, 5, 0.95},
+		{5, 2, 0.9},
+		{0.5, 0.5, 0.95},
+		{10, 10, 0.999},
+	}
+	const n = 120
+	for _, tc := range cases {
+		accept, reject := SequentialBounds(tc.alpha, tc.beta, tc.cred, n)
+		if len(accept) != n+1 || len(reject) != n+1 {
+			t.Fatalf("α=%g β=%g c=%g: table lengths %d/%d, want %d", tc.alpha, tc.beta, tc.cred, len(accept), len(reject), n+1)
+		}
+		if accept[0] != 1 || reject[0] != -1 {
+			t.Errorf("α=%g β=%g c=%g: index 0 = (%d, %d), want sentinels (1, -1)", tc.alpha, tc.beta, tc.cred, accept[0], reject[0])
+		}
+		for i := 1; i <= n; i++ {
+			for s := 0; s <= i; s++ {
+				lower, upper := Beta{Alpha: tc.alpha + float64(s), Beta: tc.beta + float64(i-s)}.CredibleInterval(tc.cred)
+				wantAccept := lower > 0.5
+				wantReject := upper < 0.5
+				if got := s >= accept[i]; got != wantAccept {
+					t.Fatalf("α=%g β=%g c=%g s=%d i=%d: table accept=%v, direct rule=%v (lower=%g)",
+						tc.alpha, tc.beta, tc.cred, s, i, got, wantAccept, lower)
+				}
+				if got := s <= reject[i]; got != wantReject {
+					t.Fatalf("α=%g β=%g c=%g s=%d i=%d: table reject=%v, direct rule=%v (upper=%g)",
+						tc.alpha, tc.beta, tc.cred, s, i, got, wantReject, upper)
+				}
+			}
+		}
+	}
+}
+
+// TestSequentialBoundsMonotone verifies the structural properties the
+// evaluator's terminal-CI shortcut relies on: thresholds never move by
+// more than one per sample, and the accept/reject regions never overlap.
+func TestSequentialBoundsMonotone(t *testing.T) {
+	accept, reject := SequentialBounds(1, 1, 0.95, 200)
+	for i := 1; i <= 200; i++ {
+		if d := accept[i] - accept[i-1]; d < 0 || d > 1 {
+			t.Errorf("acceptAt moved by %d at i=%d", d, i)
+		}
+		if d := reject[i] - reject[i-1]; d < 0 || d > 1 {
+			t.Errorf("rejectAt moved by %d at i=%d", d, i)
+		}
+		if reject[i] >= accept[i] {
+			t.Errorf("overlapping decisions at i=%d: reject=%d accept=%d", i, reject[i], accept[i])
+		}
+	}
+}
