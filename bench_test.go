@@ -12,6 +12,7 @@ package sound_test
 import (
 	"testing"
 
+	"sound"
 	"sound/internal/bench"
 	"sound/internal/experiments"
 )
@@ -95,3 +96,12 @@ func BenchmarkEvaluatePointCheck(b *testing.B) { bench.EvaluatePointCheck(b) }
 // BenchmarkEvaluateSequenceCheck measures a windowed sequence evaluation
 // (block bootstrap + correlation) on a 64-point binary window.
 func BenchmarkEvaluateSequenceCheck(b *testing.B) { bench.EvaluateSequenceCheck(b) }
+
+// BenchmarkStreamCheck measures the generic online stream-check
+// operator's per-event overhead across window kinds.
+func BenchmarkStreamCheck(b *testing.B) {
+	b.Run("point", func(b *testing.B) { bench.StreamCheck(b, sound.PointWindow{}) })
+	b.Run("tumbling", func(b *testing.B) { bench.StreamCheck(b, sound.TimeWindow{Size: 60}) })
+	b.Run("sliding", func(b *testing.B) { bench.StreamCheck(b, sound.TimeWindow{Size: 60, Slide: 30}) })
+	b.Run("count", func(b *testing.B) { bench.StreamCheck(b, sound.CountWindow{Size: 32}) })
+}

@@ -21,6 +21,8 @@ import (
 	"strings"
 
 	"sound"
+	"sound/internal/checker"
+	"sound/internal/stream"
 )
 
 func main() {
@@ -42,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxSamples = fs.Int("n", 100, "maximum sample size N")
 		seed       = fs.Uint64("seed", 1, "deterministic seed")
 		naive      = fs.Bool("naive", false, "use the naive (quality-ignorant) evaluation")
+		streaming  = fs.Bool("stream", false, "replay the series through the streaming engine and evaluate the check online (summary only)")
 		verbose    = fs.Bool("v", false, "print every window outcome, not just the summary")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +79,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	check := sound.Check{Name: *constraint, Constraint: c, SeriesNames: fs.Args(), Window: win}
 
 	counts := map[sound.Outcome]int{}
-	if *naive {
+	if *streaming {
+		var err error
+		counts, err = runStream(check, ss, sound.Params{Credibility: *cred, MaxSamples: *maxSamples}, *seed, *naive)
+		if err != nil {
+			return fail(stderr, err)
+		}
+	} else if *naive {
 		tuples := win.Windows(ss)
 		for _, tuple := range tuples {
 			o := sound.EvaluateNaive(c, tuple)
@@ -114,6 +123,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 func fail(stderr io.Writer, err error) int {
 	fmt.Fprintln(stderr, "soundcheck:", err)
 	return 1
+}
+
+// runStream replays the series through the dataflow engine and evaluates
+// the check with the generic online stream operator: events from all
+// input files are merged in time order into one source, keyed by file
+// path, and routed to the check inputs by key. The outcome counts match
+// what the check's windows produce online.
+func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed uint64, naive bool) (map[sound.Outcome]int, error) {
+	out := &checker.StreamOutcomes{}
+	factory, err := checker.NewStreamChecker(checker.StreamCheck{
+		Check:  check,
+		Params: params,
+		Seed:   seed,
+		Naive:   naive,
+		Forward: true,
+		Out:     out,
+		Route:   checker.ByInputKeys(check.SeriesNames...),
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := stream.NewGraph()
+	src := g.AddSource("csv", func(emit stream.EmitFunc) {
+		idx := make([]int, len(ss))
+		for {
+			best := -1
+			for i, s := range ss {
+				if idx[i] < len(s) && (best < 0 || s[idx[i]].T < ss[best][idx[best]].T) {
+					best = i
+				}
+			}
+			if best < 0 {
+				return
+			}
+			p := ss[best][idx[best]]
+			idx[best]++
+			emit(stream.Event{Time: p.T, Key: check.SeriesNames[best], Value: p.V, SigUp: p.SigUp, SigDown: p.SigDown})
+		}
+	})
+	chk := g.AddOperator("check", 1, factory)
+	if err := g.Connect(src, chk); err != nil {
+		return nil, err
+	}
+	if err := g.Connect(chk, g.AddSink("drain", nil)); err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(); err != nil {
+		return nil, err
+	}
+	c := out.Counts()
+	return map[sound.Outcome]int{
+		sound.Satisfied:    c.Satisfied,
+		sound.Violated:     c.Violated,
+		sound.Inconclusive: c.Inconclusive,
+	}, nil
 }
 
 func buildConstraint(name string, min, max, threshold float64) (sound.Constraint, int, error) {

@@ -1,6 +1,7 @@
 package astro
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -105,7 +106,13 @@ func BuildStream(cfg Config, mode Mode, params core.Params, parallelism, events 
 		out := &checker.StreamOutcomes{}
 		app.Outcomes[ck.Name] = out
 		chk := g.AddOperator("check-"+name, parallelism,
-			checker.NewUnarySideChecker(ck, params, seed^uint64(len(name)*37), mode == BaseCheck, out))
+			checker.MustStreamChecker(checker.StreamCheck{
+				Check:  ck,
+				Params: params,
+				Seed:   seed ^ uint64(len(name)*37),
+				Naive:  mode == BaseCheck,
+				Out:    out,
+			}))
 		if keyed {
 			mustConnectStream(g.ConnectKeyed(from, chk))
 		} else {
@@ -157,7 +164,14 @@ func BuildStream(cfg Config, mode Mode, params core.Params, parallelism, events 
 			// Binary checks pair the two tagged streams per worker; a
 			// single worker keeps flux/base association intact.
 			chk := g.AddOperator("check-"+name, 1,
-				checker.NewBinarySideChecker(ck, "base", "flux", params, seed^uint64(0xa3+i), mode == BaseCheck, out))
+				checker.MustStreamChecker(checker.StreamCheck{
+					Check:  ck,
+					Params: params,
+					Seed:   seed ^ uint64(0xa3+i),
+					Naive:  mode == BaseCheck,
+					Out:    out,
+					Route:  checker.ByInputKeys("base", "flux"),
+				}))
 			mustConnectStream(g.Connect(smooth, chk))
 		}
 	}
@@ -172,6 +186,12 @@ func mustConnectStream(err error) {
 
 // Run executes the streaming application and returns engine metrics.
 func (a *StreamApp) Run() (*stream.Metrics, error) { return a.Graph.Run() }
+
+// RunContext is Run honoring ctx: cancellation aborts the dataflow and
+// returns ctx.Err().
+func (a *StreamApp) RunContext(ctx context.Context) (*stream.Metrics, error) {
+	return a.Graph.RunContext(ctx)
+}
 
 // smoothProcessor keeps a sliding buffer per key and emits, per input
 // event, the original flux tagged "flux" and the running local baseline

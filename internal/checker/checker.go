@@ -8,6 +8,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,24 +37,65 @@ func (s *Suite) resolve(ck core.Check) ([]series.Series, error) {
 	return ss, nil
 }
 
+// checkNames rejects duplicate check names. Results are keyed by name,
+// so a duplicate would silently drop one check's results — an error the
+// suite surfaces up front instead.
+func (s *Suite) checkNames() error {
+	seen := make(map[string]struct{}, len(s.Checks))
+	for _, ck := range s.Checks {
+		if _, dup := seen[ck.Name]; dup {
+			return fmt.Errorf("checker: duplicate check name %q", ck.Name)
+		}
+		seen[ck.Name] = struct{}{}
+	}
+	return nil
+}
+
+// compile validates the suite and compiles every check into an execution
+// plan. Check i is seeded seed + i·0x9e37 so each check draws an
+// independent random stream.
+func (s *Suite) compile(params core.Params, seed uint64) ([]*core.CheckPlan, error) {
+	if err := s.checkNames(); err != nil {
+		return nil, err
+	}
+	plans := make([]*core.CheckPlan, len(s.Checks))
+	for i, ck := range s.Checks {
+		pl, err := core.CompilePlan(ck, params, seed+uint64(i)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = pl
+	}
+	return plans, nil
+}
+
 // Run evaluates every check with SOUND (Alg. 1) and returns results keyed
 // by check name.
 func (s *Suite) Run(params core.Params, seed uint64) (map[string][]core.Result, error) {
-	out := make(map[string][]core.Result, len(s.Checks))
-	for i, ck := range s.Checks {
-		ss, err := s.resolve(ck)
+	return s.RunContext(context.Background(), params, seed)
+}
+
+// RunContext is Run honoring ctx between checks: a cancelled context
+// stops the suite and returns ctx.Err().
+func (s *Suite) RunContext(ctx context.Context, params core.Params, seed uint64) (map[string][]core.Result, error) {
+	plans, err := s.compile(params, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]core.Result, len(plans))
+	for _, pl := range plans {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ss, err := s.resolve(pl.Check())
 		if err != nil {
 			return nil, err
 		}
-		e, err := core.NewEvaluator(params, seed+uint64(i)*0x9e37)
+		res, err := pl.Run(ss)
 		if err != nil {
 			return nil, err
 		}
-		res, err := ck.Run(e, ss)
-		if err != nil {
-			return nil, err
-		}
-		out[ck.Name] = res
+		out[pl.Check().Name] = res
 	}
 	return out, nil
 }
@@ -64,20 +106,27 @@ func (s *Suite) Run(params core.Params, seed uint64) (map[string][]core.Result, 
 // count, but use different random streams than Run, so the two are not
 // bit-identical to each other.
 func (s *Suite) RunParallel(params core.Params, seed uint64, workers int) (map[string][]core.Result, error) {
-	out := make(map[string][]core.Result, len(s.Checks))
-	for i, ck := range s.Checks {
-		if err := ck.Validate(); err != nil {
-			return nil, err
-		}
-		ss, err := s.resolve(ck)
+	return s.RunParallelContext(context.Background(), params, seed, workers)
+}
+
+// RunParallelContext is RunParallel honoring ctx: cancellation stops the
+// window workers between windows and returns ctx.Err().
+func (s *Suite) RunParallelContext(ctx context.Context, params core.Params, seed uint64, workers int) (map[string][]core.Result, error) {
+	plans, err := s.compile(params, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]core.Result, len(plans))
+	for _, pl := range plans {
+		ss, err := s.resolve(pl.Check())
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.EvaluateAllParallel(ck.Constraint, ck.Window, ss, params, seed+uint64(i)*0x9e37, workers)
+		res, err := pl.RunParallel(ctx, ss, workers)
 		if err != nil {
 			return nil, err
 		}
-		out[ck.Name] = res
+		out[pl.Check().Name] = res
 	}
 	return out, nil
 }
@@ -101,6 +150,9 @@ func (s *Suite) RunE6Controlled(params core.Params, seed uint64) (map[string][]c
 // outcomes keyed by check name. Window tuples match Run exactly, so the
 // two result sets are index-aligned for accuracy computation.
 func (s *Suite) RunNaive() (map[string][]core.Outcome, error) {
+	if err := s.checkNames(); err != nil {
+		return nil, err
+	}
 	out := make(map[string][]core.Outcome, len(s.Checks))
 	for _, ck := range s.Checks {
 		ss, err := s.resolve(ck)
@@ -132,14 +184,15 @@ type Accuracy struct {
 }
 
 // CompareOutcomes computes the accuracy of naive outcomes against SOUND
-// results. Both slices must be index-aligned (same window tuples).
-func CompareOutcomes(sound []core.Result, naive []core.Outcome) Accuracy {
+// results. Both slices must be index-aligned (same window tuples); a
+// length mismatch means the windows diverged and the comparison would be
+// meaningless, so it is an error rather than a silent truncation.
+func CompareOutcomes(sound []core.Result, naive []core.Outcome) (Accuracy, error) {
 	var a Accuracy
-	n := len(sound)
-	if len(naive) < n {
-		n = len(naive)
+	if len(sound) != len(naive) {
+		return a, fmt.Errorf("checker: outcome slices are not index-aligned: %d SOUND results vs %d naive outcomes", len(sound), len(naive))
 	}
-	for i := 0; i < n; i++ {
+	for i := range sound {
 		a.NTotal++
 		switch sound[i].Outcome {
 		case core.Satisfied:
@@ -157,7 +210,7 @@ func CompareOutcomes(sound []core.Result, naive []core.Outcome) Accuracy {
 		}
 	}
 	a.finalize()
-	return a
+	return a, nil
 }
 
 // Merge combines accuracies across checks (for the "Combined" column).
@@ -207,17 +260,17 @@ func outcomeIndex(o core.Outcome) int {
 	}
 }
 
-// Confuse builds the confusion matrix from index-aligned results.
-func Confuse(sound []core.Result, naive []core.Outcome) Confusion {
+// Confuse builds the confusion matrix from index-aligned results. Like
+// CompareOutcomes, mismatched lengths are an error.
+func Confuse(sound []core.Result, naive []core.Outcome) (Confusion, error) {
 	var c Confusion
-	n := len(sound)
-	if len(naive) < n {
-		n = len(naive)
+	if len(sound) != len(naive) {
+		return c, fmt.Errorf("checker: outcome slices are not index-aligned: %d SOUND results vs %d naive outcomes", len(sound), len(naive))
 	}
-	for i := 0; i < n; i++ {
+	for i := range sound {
 		c.M[outcomeIndex(sound[i].Outcome)][outcomeIndex(naive[i])]++
 	}
-	return c
+	return c, nil
 }
 
 // Total returns the number of counted windows.

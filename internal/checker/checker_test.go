@@ -90,7 +90,10 @@ func TestCompareOutcomes(t *testing.T) {
 		core.Violated, core.Satisfied, // 1/2 violated agree
 		core.Satisfied,
 	}
-	a := CompareOutcomes(sound, naive)
+	a, err := CompareOutcomes(sound, naive)
+	if err != nil {
+		t.Fatalf("CompareOutcomes: %v", err)
+	}
 	if a.SatisfiedAcc != 0.5 || a.ViolatedAcc != 0.5 {
 		t.Errorf("accuracies = %v, %v", a.SatisfiedAcc, a.ViolatedAcc)
 	}
@@ -103,14 +106,20 @@ func TestCompareOutcomes(t *testing.T) {
 }
 
 func TestMergeAccuracies(t *testing.T) {
-	a := CompareOutcomes(
+	a, err := CompareOutcomes(
 		[]core.Result{{Outcome: core.Satisfied}, {Outcome: core.Satisfied}},
 		[]core.Outcome{core.Satisfied, core.Satisfied},
 	)
-	b := CompareOutcomes(
+	if err != nil {
+		t.Fatalf("CompareOutcomes: %v", err)
+	}
+	b, err := CompareOutcomes(
 		[]core.Result{{Outcome: core.Satisfied}, {Outcome: core.Inconclusive}},
 		[]core.Outcome{core.Violated, core.Satisfied},
 	)
+	if err != nil {
+		t.Fatalf("CompareOutcomes: %v", err)
+	}
 	m := Merge(a, b)
 	if math.Abs(m.SatisfiedAcc-2.0/3.0) > 1e-12 {
 		t.Errorf("merged satisfied acc = %v", m.SatisfiedAcc)
@@ -339,7 +348,10 @@ func TestConfusionMatrix(t *testing.T) {
 		core.Satisfied, core.Violated,
 		core.Satisfied, core.Violated,
 	}
-	c := Confuse(sound, naive)
+	c, err := Confuse(sound, naive)
+	if err != nil {
+		t.Fatalf("Confuse: %v", err)
+	}
 	if c.Total() != 4 {
 		t.Fatalf("total = %d", c.Total())
 	}

@@ -1,7 +1,8 @@
 package checker
 
 import (
-	"math"
+	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"sound/internal/core"
@@ -16,6 +17,12 @@ import (
 // pass-through: every input event is forwarded unchanged, and the check
 // work rides on top — exactly the overhead the paper measures in
 // Figs. 4-6.
+//
+// One generic operator serves every arity and window shape. It is driven
+// by the same compiled core.CheckPlan the batch paths run on, so window
+// boundaries, evaluator parameters, and decision tables cannot diverge
+// between offline checking and online instrumentation — the batch/stream
+// unification of §IV-A.
 
 // StreamOutcomes accumulates check outcomes observed online. Safe for
 // concurrent use by multiple operator workers.
@@ -44,31 +51,142 @@ func (so *StreamOutcomes) Counts() OutcomeCounts {
 	}
 }
 
-// unaryStreamChecker evaluates a unary check inline. Point-wise
-// constraints are evaluated per event; windowed constraints accumulate a
-// per-key buffer and evaluate when event time crosses the window end.
-type unaryStreamChecker struct {
-	check    core.Check
-	eval     *core.Evaluator
-	naive    bool
-	forward  bool
-	size     float64 // time window size; 0 for point-wise
-	count    int     // count window size; 0 for point-wise/time
-	out      *StreamOutcomes
-	buffers  map[string]*series.Series
-	winStart map[string]float64
-	// Reusable buffers keep the per-event hot path allocation-free.
-	pointBuf series.Series
-	winBuf   [1]series.Series
+// RouteFunc attributes an event to a check input and a window-state
+// group. input selects the series slot (0-based, < the check's arity);
+// key selects the keyed window state, so windows are maintained per
+// group independently ("" keeps one global group). ok = false means the
+// event is not part of the check — it is forwarded but not buffered.
+type RouteFunc func(ev stream.Event) (input int, key string, ok bool)
+
+// ByEventKey routes every event to input 0, grouped by the event's own
+// partitioning key — the default for unary checks on keyed streams.
+func ByEventKey() RouteFunc {
+	return func(ev stream.Event) (int, string, bool) { return 0, ev.Key, true }
+}
+
+// ByInputKeys routes events whose Key equals the i-th tag to input i,
+// all sharing one global window group — the shape of the old binary
+// checker, generalized to any arity.
+func ByInputKeys(tags ...string) RouteFunc {
+	idx := make(map[string]int, len(tags))
+	for i, t := range tags {
+		idx[t] = i
+	}
+	return func(ev stream.Event) (int, string, bool) {
+		i, ok := idx[ev.Key]
+		return i, "", ok
+	}
+}
+
+// ByKeyedInputs routes events whose Key has the form "<group><sep><tag>"
+// to the input matching tag, windowed per group — per-key N-ary checks
+// (e.g. "house1/load" vs "house1/base" compared per house).
+func ByKeyedInputs(sep string, tags ...string) RouteFunc {
+	idx := make(map[string]int, len(tags))
+	for i, t := range tags {
+		idx[t] = i
+	}
+	return func(ev stream.Event) (int, string, bool) {
+		cut := -1
+		for j := len(ev.Key) - len(sep); j >= 0; j-- {
+			if ev.Key[j:j+len(sep)] == sep {
+				cut = j
+				break
+			}
+		}
+		if cut < 0 {
+			return 0, "", false
+		}
+		i, ok := idx[ev.Key[cut+len(sep):]]
+		return i, ev.Key[:cut], ok
+	}
+}
+
+// StreamCheck configures the generic N-ary keyed stream check operator.
+type StreamCheck struct {
+	// Check is the sanity check to evaluate online.
+	Check core.Check
+	// Params and Seed configure the SOUND evaluation (ignored by Naive).
+	Params core.Params
+	Seed   uint64
+	// Naive selects BASE_CHECK semantics instead of Alg. 1.
+	Naive bool
+	// Forward passes every input event downstream unchanged (inline
+	// instrumentation); false consumes the input (side-branch operator).
+	Forward bool
+	// Out accumulates the observed outcomes (may be nil).
+	Out *StreamOutcomes
+	// Route attributes events to check inputs and window groups. Nil
+	// defaults to ByEventKey for unary checks; checks of arity > 1
+	// must set it.
+	Route RouteFunc
+}
+
+// NewStreamChecker compiles the check into a core.CheckPlan and returns
+// a stream operator factory evaluating it online. The plan's window
+// assigner drives per-group window state for any arity: point-wise,
+// tumbling and sliding time windows, count windows, session windows
+// (unary), and global windows. It errors on checks that cannot run
+// online (custom batch-only windowers, missing routes).
+func NewStreamChecker(cfg StreamCheck) (func() stream.Processor, error) {
+	plan, err := core.CompilePlan(cfg.Check, cfg.Params, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	asg := plan.Assigner()
+	arity := plan.Arity()
+	switch asg.Kind {
+	case core.KindCustom:
+		return nil, fmt.Errorf("checker: check %q uses windower %v, which has no stream assigner", cfg.Check.Name, cfg.Check.Window)
+	case core.KindSession:
+		if arity != 1 {
+			return nil, fmt.Errorf("checker: check %q: session windows stream only for unary checks", cfg.Check.Name)
+		}
+	}
+	route := cfg.Route
+	if route == nil {
+		if arity != 1 {
+			return nil, fmt.Errorf("checker: check %q has arity %d and needs an explicit Route", cfg.Check.Name, arity)
+		}
+		route = ByEventKey()
+	}
+	var workerSeq atomic.Uint64
+	return func() stream.Processor {
+		c := &streamChecker{
+			check:   plan.Check(),
+			asg:     asg,
+			arity:   arity,
+			naive:   cfg.Naive,
+			forward: cfg.Forward,
+			out:     cfg.Out,
+			route:   route,
+			groups:  map[string]*groupState{},
+		}
+		if !cfg.Naive {
+			c.eval = plan.NewEvaluator(workerSeq.Add(1) * 0x9e3779b9)
+		}
+		return c
+	}, nil
+}
+
+// MustStreamChecker is NewStreamChecker that panics on compile errors,
+// for wiring code with static check definitions.
+func MustStreamChecker(cfg StreamCheck) func() stream.Processor {
+	f, err := NewStreamChecker(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }
 
 // NewUnaryStreamChecker returns a stream operator factory that evaluates
 // the unary check on the events flowing through it, forwarding every
 // event unchanged — for inline instrumentation. Wire it with
 // ConnectKeyed when windows are per-key. Set naive to evaluate with
-// BASE_CHECK semantics instead of Alg. 1.
+// BASE_CHECK semantics instead of Alg. 1. It is a thin wrapper around
+// the generic NewStreamChecker.
 func NewUnaryStreamChecker(ck core.Check, params core.Params, seed uint64, naive bool, out *StreamOutcomes) func() stream.Processor {
-	return newUnaryStreamChecker(ck, params, seed, naive, true, out)
+	return MustStreamChecker(StreamCheck{Check: ck, Params: params, Seed: seed, Naive: naive, Forward: true, Out: out})
 }
 
 // NewUnarySideChecker is the side-branch variant of
@@ -76,188 +194,310 @@ func NewUnaryStreamChecker(ck core.Check, params core.Params, seed uint64, naive
 // check operators that run in parallel to the nominal dataflow and have
 // no downstream.
 func NewUnarySideChecker(ck core.Check, params core.Params, seed uint64, naive bool, out *StreamOutcomes) func() stream.Processor {
-	return newUnaryStreamChecker(ck, params, seed, naive, false, out)
-}
-
-func newUnaryStreamChecker(ck core.Check, params core.Params, seed uint64, naive, forward bool, out *StreamOutcomes) func() stream.Processor {
-	var workerSeq atomic.Uint64
-	return func() stream.Processor {
-		c := &unaryStreamChecker{
-			check:    ck,
-			naive:    naive,
-			forward:  forward,
-			out:      out,
-			buffers:  map[string]*series.Series{},
-			winStart: map[string]float64{},
-		}
-		if !naive {
-			c.eval = core.MustEvaluator(params, seed+workerSeq.Add(1)*0x9e3779b9)
-		}
-		switch w := ck.Window.(type) {
-		case core.TimeWindow:
-			c.size = w.Size
-		case core.CountWindow:
-			c.count = w.Size
-		}
-		return c
-	}
-}
-
-// Process implements stream.Processor.
-func (c *unaryStreamChecker) Process(ev stream.Event, emit stream.EmitFunc) {
-	if c.forward {
-		emit(ev) // pass-through first: the nominal pipeline is not delayed by buffering
-	}
-	p := series.Point{T: ev.Time, V: ev.Value, SigUp: ev.SigUp, SigDown: ev.SigDown}
-	switch {
-	case c.size <= 0 && c.count <= 0:
-		// Point-wise: evaluate on a single-point window (reused buffer).
-		if c.pointBuf == nil {
-			c.pointBuf = make(series.Series, 1)
-		}
-		c.pointBuf[0] = p
-		c.evaluate(c.pointBuf)
-	case c.count > 0:
-		buf := c.buffer(ev.Key)
-		*buf = append(*buf, p)
-		if len(*buf) >= c.count {
-			c.evaluate(*buf)
-			*buf = (*buf)[:0]
-		}
-	default:
-		buf := c.buffer(ev.Key)
-		start := c.winStart[ev.Key]
-		if len(*buf) > 0 && ev.Time >= start+c.size {
-			c.evaluate(*buf)
-			*buf = (*buf)[:0]
-		}
-		if len(*buf) == 0 {
-			c.winStart[ev.Key] = windowStart(ev.Time, c.size)
-		}
-		*buf = append(*buf, p)
-	}
-}
-
-// Flush implements stream.Processor: evaluate open windows.
-func (c *unaryStreamChecker) Flush(stream.EmitFunc) {
-	for _, buf := range c.buffers {
-		if len(*buf) > 0 {
-			c.evaluate(*buf)
-		}
-	}
-}
-
-func (c *unaryStreamChecker) buffer(key string) *series.Series {
-	buf := c.buffers[key]
-	if buf == nil {
-		s := make(series.Series, 0, 64)
-		buf = &s
-		c.buffers[key] = buf
-	}
-	return buf
-}
-
-func (c *unaryStreamChecker) evaluate(w series.Series) {
-	c.winBuf[0] = w
-	tuple := core.WindowTuple{Windows: c.winBuf[:]}
-	if len(w) > 0 {
-		tuple.Start, tuple.End = w[0].T, w[len(w)-1].T
-	}
-	var o core.Outcome
-	if c.naive {
-		o = core.EvaluateNaive(c.check.Constraint, tuple)
-	} else {
-		o = c.eval.Evaluate(c.check.Constraint, tuple).Outcome
-	}
-	if c.out != nil {
-		c.out.Add(o)
-	}
-}
-
-// binaryStreamChecker evaluates a binary check over two tagged streams.
-// Events are attributed to input 0 or 1 by their Key; time windows
-// aligned on both inputs are evaluated when event time passes the window
-// end on both sides.
-type binaryStreamChecker struct {
-	check      core.Check
-	eval       *core.Evaluator
-	naive      bool
-	forward    bool
-	size       float64
-	keyA, keyB string
-	out        *StreamOutcomes
-	bufA, bufB series.Series
-	start      float64
-	open       bool
+	return MustStreamChecker(StreamCheck{Check: ck, Params: params, Seed: seed, Naive: naive, Out: out})
 }
 
 // NewBinaryStreamChecker returns a stream operator factory evaluating the
 // binary check on events whose Key equals keyA (first input) or keyB
-// (second input). The check's Window must be a core.TimeWindow. Other
-// events pass through untouched.
+// (second input) in one global window group. Other events pass through
+// untouched. It is a thin wrapper around the generic NewStreamChecker.
 func NewBinaryStreamChecker(ck core.Check, keyA, keyB string, params core.Params, seed uint64, naive bool, out *StreamOutcomes) func() stream.Processor {
-	return newBinaryStreamChecker(ck, keyA, keyB, params, seed, naive, true, out)
+	return MustStreamChecker(StreamCheck{Check: ck, Params: params, Seed: seed, Naive: naive, Forward: true, Out: out, Route: ByInputKeys(keyA, keyB)})
 }
 
 // NewBinarySideChecker is the side-branch variant of
 // NewBinaryStreamChecker (no forwarding, no downstream).
 func NewBinarySideChecker(ck core.Check, keyA, keyB string, params core.Params, seed uint64, naive bool, out *StreamOutcomes) func() stream.Processor {
-	return newBinaryStreamChecker(ck, keyA, keyB, params, seed, naive, false, out)
+	return MustStreamChecker(StreamCheck{Check: ck, Params: params, Seed: seed, Naive: naive, Out: out, Route: ByInputKeys(keyA, keyB)})
 }
 
-func newBinaryStreamChecker(ck core.Check, keyA, keyB string, params core.Params, seed uint64, naive, forward bool, out *StreamOutcomes) func() stream.Processor {
-	var workerSeq atomic.Uint64
-	return func() stream.Processor {
-		c := &binaryStreamChecker{check: ck, naive: naive, forward: forward, keyA: keyA, keyB: keyB, out: out}
-		if !naive {
-			c.eval = core.MustEvaluator(params, seed+workerSeq.Add(1)*0x9e3779b9)
-		}
-		if w, ok := ck.Window.(core.TimeWindow); ok {
-			c.size = w.Size
-		}
-		return c
+// streamChecker is one worker's instance of the generic operator. Keyed
+// partitioning guarantees a group's events reach one worker, so the
+// per-group state needs no locking.
+type streamChecker struct {
+	check   core.Check
+	asg     core.WindowAssigner
+	arity   int
+	eval    *core.Evaluator
+	naive   bool
+	forward bool
+	out     *StreamOutcomes
+	route   RouteFunc
+	groups  map[string]*groupState
+	// Reusable scratch keeps the per-event hot path allocation-free.
+	startBuf []float64
+	pointBuf series.Series
+	winBuf   [1]series.Series
+}
+
+// groupState is the window state of one route group (one key, or the
+// global group "").
+type groupState struct {
+	// open time windows, ascending by start.
+	open []*openWindow
+	// minT tracks the earliest event time seen, anchoring the slide grid
+	// so the stream emits the same window set a batch run would.
+	minT      float64
+	hasMin    bool
+	watermark float64
+	// bufs accumulates points per input for count/global/session kinds.
+	bufs []series.Series
+	// pend queues points per input for point-wise alignment (arity > 1).
+	pend []series.Series
+	// session bounds.
+	sessStart, sessPrev float64
+	sessOpen            bool
+}
+
+type openWindow struct {
+	start, end float64
+	bufs       []series.Series
+}
+
+func (c *streamChecker) group(key string) *groupState {
+	g := c.groups[key]
+	if g == nil {
+		g = &groupState{}
+		c.groups[key] = g
 	}
+	return g
+}
+
+func (g *groupState) inputs(arity int) []series.Series {
+	if g.bufs == nil {
+		g.bufs = make([]series.Series, arity)
+	}
+	return g.bufs
 }
 
 // Process implements stream.Processor.
-func (c *binaryStreamChecker) Process(ev stream.Event, emit stream.EmitFunc) {
+func (c *streamChecker) Process(ev stream.Event, emit stream.EmitFunc) {
 	if c.forward {
-		emit(ev)
+		emit(ev) // pass-through first: the nominal pipeline is not delayed by buffering
 	}
-	if ev.Key != c.keyA && ev.Key != c.keyB {
+	input, key, ok := c.route(ev)
+	if !ok || input < 0 || input >= c.arity {
 		return
-	}
-	if !c.open {
-		c.start = windowStart(ev.Time, c.size)
-		c.open = true
-	}
-	if c.size > 0 && ev.Time >= c.start+c.size {
-		c.fire()
-		c.start = windowStart(ev.Time, c.size)
 	}
 	p := series.Point{T: ev.Time, V: ev.Value, SigUp: ev.SigUp, SigDown: ev.SigDown}
-	if ev.Key == c.keyA {
-		c.bufA = append(c.bufA, p)
-	} else {
-		c.bufB = append(c.bufB, p)
+	switch c.asg.Kind {
+	case core.KindPoint:
+		c.processPoint(key, input, p)
+	case core.KindTumblingTime, core.KindSlidingTime:
+		c.processTime(key, input, p)
+	case core.KindCount:
+		c.processCount(key, input, p)
+	case core.KindGlobal:
+		g := c.group(key)
+		bufs := g.inputs(c.arity)
+		bufs[input] = append(bufs[input], p)
+	case core.KindSession:
+		c.processSession(key, p)
 	}
 }
 
-// Flush implements stream.Processor.
-func (c *binaryStreamChecker) Flush(stream.EmitFunc) {
-	if c.open {
-		c.fire()
-	}
-}
-
-func (c *binaryStreamChecker) fire() {
-	if len(c.bufA) == 0 && len(c.bufB) == 0 {
+// processPoint evaluates single-point tuples. Unary checks evaluate
+// immediately on a reused buffer; k-ary checks align the inputs by
+// arrival order per group, evaluating as soon as every input has a
+// pending point — the streaming mirror of PointWindow's index alignment.
+func (c *streamChecker) processPoint(key string, input int, p series.Point) {
+	if c.arity == 1 {
+		if c.pointBuf == nil {
+			c.pointBuf = make(series.Series, 1)
+		}
+		c.pointBuf[0] = p
+		c.winBuf[0] = c.pointBuf
+		c.evaluate(core.WindowTuple{Windows: c.winBuf[:], Start: p.T, End: p.T})
 		return
 	}
-	tuple := core.WindowTuple{
-		Windows: []series.Series{c.bufA, c.bufB},
-		Start:   c.start, End: c.start + c.size,
+	g := c.group(key)
+	if g.pend == nil {
+		g.pend = make([]series.Series, c.arity)
 	}
+	g.pend[input] = append(g.pend[input], p)
+	for {
+		ready := true
+		for i := range g.pend {
+			if len(g.pend[i]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			return
+		}
+		ws := make([]series.Series, c.arity)
+		for i := range g.pend {
+			ws[i] = g.pend[i][:1:1]
+			g.pend[i] = g.pend[i][1:]
+		}
+		c.evaluate(core.WindowTuple{Windows: ws, Start: ws[0][0].T, End: ws[0][0].T})
+	}
+}
+
+// processTime maintains the open time windows of one group. Each event
+// is appended to every window covering its timestamp (one for tumbling,
+// up to ⌈size/slide⌉ for sliding); a window fires once the group's
+// watermark — the maximum event time seen — passes its end, so events
+// arriving out of order within a still-open window land in the correct
+// buffers.
+func (c *streamChecker) processTime(key string, input int, p series.Point) {
+	g := c.group(key)
+	if !g.hasMin || p.T < g.minT {
+		g.minT = p.T
+		g.hasMin = true
+	}
+	// Anchor the grid at the group's first timestamp so the stream emits
+	// the same window sequence a batch TimeWindow run over the collected
+	// series would (batch windows start at the first observation).
+	minStart := c.asg.AlignStart(g.minT)
+	c.startBuf = c.asg.CoveringStarts(c.startBuf[:0], p.T, minStart)
+	for _, s := range c.startBuf {
+		w := g.window(s, s+c.asg.Size, c.arity)
+		w.bufs[input] = append(w.bufs[input], p)
+	}
+	if p.T > g.watermark {
+		g.watermark = p.T
+	}
+	fired := 0
+	for fired < len(g.open) && g.open[fired].end <= g.watermark {
+		c.fireWindow(g.open[fired])
+		fired++
+	}
+	if fired > 0 {
+		g.open = append(g.open[:0], g.open[fired:]...)
+	}
+}
+
+// window returns the open window starting at s, inserting it in start
+// order if absent.
+func (g *groupState) window(start, end float64, arity int) *openWindow {
+	i := sort.Search(len(g.open), func(i int) bool { return g.open[i].start >= start })
+	if i < len(g.open) && g.open[i].start == start {
+		return g.open[i]
+	}
+	w := &openWindow{start: start, end: end, bufs: make([]series.Series, arity)}
+	g.open = append(g.open, nil)
+	copy(g.open[i+1:], g.open[i:])
+	g.open[i] = w
+	return w
+}
+
+// fireWindow evaluates a closed time window. Buffers are sorted by event
+// time first, so an out-of-order arrival inside the window yields the
+// same tuple a batch run over the time-ordered series would see.
+func (c *streamChecker) fireWindow(w *openWindow) {
+	nonEmpty := false
+	for _, buf := range w.bufs {
+		sortByTime(buf)
+		if len(buf) > 0 {
+			nonEmpty = true
+		}
+	}
+	if !nonEmpty {
+		return
+	}
+	c.evaluate(core.WindowTuple{Windows: w.bufs, Start: w.start, End: w.end})
+}
+
+// processCount accumulates per-input buffers and fires count windows as
+// soon as every input holds a full window, advancing by the slide —
+// index-aligned across inputs exactly like the batch CountWindow.
+func (c *streamChecker) processCount(key string, input int, p series.Point) {
+	g := c.group(key)
+	bufs := g.inputs(c.arity)
+	bufs[input] = append(bufs[input], p)
+	for {
+		for i := range bufs {
+			if len(bufs[i]) < c.asg.Count {
+				return
+			}
+		}
+		ws := make([]series.Series, c.arity)
+		for i := range bufs {
+			ws[i] = bufs[i][:c.asg.Count:c.asg.Count]
+		}
+		start, end := ws[0][0].T, ws[0][len(ws[0])-1].T
+		c.evaluate(core.WindowTuple{Windows: ws, Start: start, End: end})
+		slide := c.asg.CountSlide
+		for i := range bufs {
+			// Copy down instead of re-slicing: the evaluated window
+			// aliased the array head, so the next append must not
+			// clobber it — and the buffer must not grow unboundedly.
+			rest := bufs[i][slide:]
+			next := make(series.Series, len(rest), c.asg.Count+len(rest))
+			copy(next, rest)
+			bufs[i] = next
+		}
+	}
+}
+
+// processSession extends or closes the group's gap-delimited session
+// (unary checks only, enforced at compile time).
+func (c *streamChecker) processSession(key string, p series.Point) {
+	g := c.group(key)
+	bufs := g.inputs(1)
+	if g.sessOpen && p.T-g.sessPrev > c.asg.Gap {
+		c.fireSession(g)
+	}
+	if !g.sessOpen {
+		g.sessOpen = true
+		g.sessStart = p.T
+	}
+	bufs[0] = append(bufs[0], p)
+	g.sessPrev = p.T
+}
+
+func (c *streamChecker) fireSession(g *groupState) {
+	if len(g.bufs[0]) > 0 {
+		sortByTime(g.bufs[0])
+		c.winBuf[0] = g.bufs[0]
+		c.evaluate(core.WindowTuple{Windows: c.winBuf[:], Start: g.sessStart, End: g.sessPrev})
+		g.bufs[0] = g.bufs[0][:0]
+	}
+	g.sessOpen = false
+}
+
+// Flush implements stream.Processor: evaluate open windows in
+// deterministic group order. Incomplete point-wise tuples and partial
+// count windows are dropped, matching the batch windowing functions
+// (PointWindow truncates to the shortest series; CountWindow drops the
+// tail shorter than Size).
+func (c *streamChecker) Flush(stream.EmitFunc) {
+	keys := make([]string, 0, len(c.groups))
+	for k := range c.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := c.groups[k]
+		switch c.asg.Kind {
+		case core.KindTumblingTime, core.KindSlidingTime:
+			for _, w := range g.open {
+				c.fireWindow(w)
+			}
+			g.open = g.open[:0]
+		case core.KindGlobal:
+			nonEmpty := false
+			for _, buf := range g.bufs {
+				sortByTime(buf)
+				if len(buf) > 0 {
+					nonEmpty = true
+				}
+			}
+			if nonEmpty {
+				start, end := span(g.bufs)
+				c.evaluate(core.WindowTuple{Windows: g.bufs, Start: start, End: end})
+			}
+		case core.KindSession:
+			if g.sessOpen {
+				c.fireSession(g)
+			}
+		}
+	}
+}
+
+func (c *streamChecker) evaluate(tuple core.WindowTuple) {
 	var o core.Outcome
 	if c.naive {
 		o = core.EvaluateNaive(c.check.Constraint, tuple)
@@ -267,16 +507,37 @@ func (c *binaryStreamChecker) fire() {
 	if c.out != nil {
 		c.out.Add(o)
 	}
-	c.bufA = c.bufA[:0]
-	c.bufB = c.bufB[:0]
 }
 
-func windowStart(t, size float64) float64 {
-	if size <= 0 {
-		return t
+// sortByTime time-orders a window buffer in place; the common in-order
+// case is detected with a linear scan and left untouched.
+func sortByTime(s series.Series) {
+	for i := 1; i < len(s); i++ {
+		if s[i].T < s[i-1].T {
+			sort.SliceStable(s, func(a, b int) bool { return s[a].T < s[b].T })
+			return
+		}
 	}
-	// Floor, not truncation: int64(t/size) rounds toward zero, which
-	// would shift negative event times into the window one slot too late
-	// (e.g. t = −1, size = 10 belongs to [−10, 0), not [0, 10)).
-	return math.Floor(t/size) * size
+}
+
+// span returns the union time span of the buffers.
+func span(bufs []series.Series) (start, end float64) {
+	init := false
+	for _, buf := range bufs {
+		if len(buf) == 0 {
+			continue
+		}
+		a, b := buf[0].T, buf[len(buf)-1].T
+		if !init {
+			start, end, init = a, b, true
+			continue
+		}
+		if a < start {
+			start = a
+		}
+		if b > end {
+			end = b
+		}
+	}
+	return start, end
 }

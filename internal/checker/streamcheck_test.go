@@ -1,0 +1,364 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"sound/internal/core"
+	"sound/internal/series"
+	"sound/internal/stream"
+)
+
+// runCheckGraph pushes the events through a single-worker instance of
+// the configured stream checker inside a real graph and returns the
+// observed outcome counts.
+func runCheckGraph(t *testing.T, cfg StreamCheck, events []stream.Event, keyed bool, workers int) OutcomeCounts {
+	t.Helper()
+	out := &StreamOutcomes{}
+	cfg.Out = out
+	factory, err := NewStreamChecker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stream.NewGraph()
+	src := g.AddSource("src", func(emit stream.EmitFunc) {
+		for _, ev := range events {
+			emit(ev)
+		}
+	})
+	chk := g.AddOperator("check", workers, factory)
+	if keyed {
+		err = g.ConnectKeyed(src, chk)
+	} else {
+		err = g.Connect(src, chk)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(src, g.AddSink("sink", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Counts()
+}
+
+// TestStreamCheckerPerKeyBinaryWindows runs a binary check with per-key
+// window state — the shape neither of the old hand-written operators
+// supported: windows of the (x, y) pair are maintained independently per
+// group via a composite-key route.
+func TestStreamCheckerPerKeyBinaryWindows(t *testing.T) {
+	ck := core.Check{
+		Name:        "count",
+		Constraint:  core.CountAtLeast(),
+		SeriesNames: []string{"x", "y"},
+		Window:      core.TimeWindow{Size: 10},
+	}
+	var events []stream.Event
+	for i := 0; i < 30; i++ {
+		t := float64(i)
+		for _, grp := range []string{"g1", "g2"} {
+			events = append(events,
+				stream.Event{Time: t, Key: grp + "/x", Value: 1},
+				stream.Event{Time: t, Key: grp + "/y", Value: 2},
+			)
+		}
+	}
+	counts := runCheckGraph(t, StreamCheck{
+		Check: ck,
+		Naive: true,
+		Route: ByKeyedInputs("/", "x", "y"),
+	}, events, false, 1)
+	// 30 time units in tumbling windows of 10, per group: 3 windows × 2
+	// groups, every one satisfied (|x| >= |y| point counts are equal).
+	if counts.Total() != 6 || counts.Satisfied != 6 {
+		t.Errorf("counts = %+v, want 6 satisfied windows", counts)
+	}
+}
+
+// TestStreamCheckerSlidingWindowsOnline evaluates overlapping time
+// windows online and requires the same window set a batch run produces.
+func TestStreamCheckerSlidingWindowsOnline(t *testing.T) {
+	win := core.TimeWindow{Size: 10, Slide: 5}
+	ck := core.Check{
+		Name:        "range",
+		Constraint:  core.Range(0, 100),
+		SeriesNames: []string{"s"},
+		Window:      win,
+	}
+	var events []stream.Event
+	s := make(series.Series, 30)
+	for i := 0; i < 30; i++ {
+		v := 5.0
+		if i == 17 {
+			v = 500 // lands in the windows starting at 10 and 15
+		}
+		events = append(events, stream.Event{Time: float64(i), Key: "k", Value: v})
+		s[i] = series.Point{T: float64(i), V: v}
+	}
+	counts := runCheckGraph(t, StreamCheck{Check: ck, Naive: true}, events, true, 1)
+
+	batch := core.EvaluateAllNaive(ck.Constraint, win, []series.Series{s})
+	var want OutcomeCounts
+	for _, o := range batch {
+		switch o {
+		case core.Satisfied:
+			want.Satisfied++
+		case core.Violated:
+			want.Violated++
+		default:
+			want.Inconclusive++
+		}
+	}
+	if counts != want {
+		t.Errorf("stream counts = %+v, batch counts = %+v", counts, want)
+	}
+	if counts.Violated != 2 {
+		t.Errorf("violated = %d, want 2 overlapping windows covering t=17", counts.Violated)
+	}
+}
+
+// TestStreamCheckerOutOfOrderWithinWindow shuffles arrival order inside
+// each window; the operator must still evaluate time-ordered buffers, so
+// a monotone signal stays satisfied.
+func TestStreamCheckerOutOfOrderWithinWindow(t *testing.T) {
+	ck := core.Check{
+		Name:        "mono",
+		Constraint:  core.MonotonicIncrease(true),
+		SeriesNames: []string{"s"},
+		Window:      core.TimeWindow{Size: 5},
+	}
+	perm := []int{3, 1, 4, 0, 2} // arrival order within each window
+	var events []stream.Event
+	for w := 0; w < 6; w++ {
+		for _, j := range perm {
+			t := float64(w*5 + j)
+			events = append(events, stream.Event{Time: t, Key: "k", Value: t})
+		}
+	}
+	counts := runCheckGraph(t, StreamCheck{Check: ck, Naive: true}, events, true, 1)
+	if counts.Total() != 6 || counts.Satisfied != 6 {
+		t.Errorf("counts = %+v, want 6 satisfied windows despite shuffled arrival", counts)
+	}
+}
+
+// TestBatchStreamParityTumbling is the batch↔stream equivalence check:
+// on a dense tumbling-window workload, the streaming operator and the
+// batch plan must produce identical outcome counts — exactly (naive
+// mode) and on clear-cut data (SOUND mode, where outcomes are
+// seed-independent).
+func TestBatchStreamParityTumbling(t *testing.T) {
+	win := core.TimeWindow{Size: 10}
+	ck := core.Check{
+		Name:        "range",
+		Constraint:  core.Range(0, 100),
+		SeriesNames: []string{"s"},
+		Window:      win,
+	}
+	s := make(series.Series, 100)
+	var events []stream.Event
+	for i := 0; i < 100; i++ {
+		v := 50.0
+		if i%25 == 3 {
+			v = 5000 // clear violation, far beyond the uncertainty
+		}
+		p := series.Point{T: float64(i), V: v, SigUp: 0.5, SigDown: 0.5}
+		s[i] = p
+		events = append(events, stream.Event{Time: p.T, Key: "k", Value: p.V, SigUp: p.SigUp, SigDown: p.SigDown})
+	}
+	ss := []series.Series{s}
+
+	pl, err := core.CompilePlan(ck, core.DefaultParams(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	toCounts := func(os []core.Outcome) OutcomeCounts {
+		var c OutcomeCounts
+		for _, o := range os {
+			switch o {
+			case core.Satisfied:
+				c.Satisfied++
+			case core.Violated:
+				c.Violated++
+			default:
+				c.Inconclusive++
+			}
+		}
+		return c
+	}
+
+	// Naive mode: outcomes are deterministic, counts must match exactly.
+	batchNaive, err := pl.RunNaive(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamNaive := runCheckGraph(t, StreamCheck{Check: ck, Naive: true}, events, true, 1)
+	if want := toCounts(batchNaive); streamNaive != want {
+		t.Errorf("naive: stream counts %+v != batch counts %+v", streamNaive, want)
+	}
+
+	// SOUND mode: random streams differ between the paths, but on
+	// clear-cut data every window decides the same way regardless of
+	// seed, so the counts must still match.
+	batchSound, err := pl.Run(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want OutcomeCounts
+	for _, r := range batchSound {
+		switch r.Outcome {
+		case core.Satisfied:
+			want.Satisfied++
+		case core.Violated:
+			want.Violated++
+		default:
+			want.Inconclusive++
+		}
+	}
+	streamSound := runCheckGraph(t, StreamCheck{Check: ck, Seed: 77, Params: core.DefaultParams()}, events, true, 1)
+	if streamSound != want {
+		t.Errorf("sound: stream counts %+v != batch counts %+v", streamSound, want)
+	}
+	if want.Violated != 4 {
+		t.Errorf("batch violated = %d, want 4", want.Violated)
+	}
+}
+
+// TestStreamCheckerGlobalAndSession covers the window kinds the old
+// operators never supported online.
+func TestStreamCheckerGlobalAndSession(t *testing.T) {
+	var events []stream.Event
+	for i := 0; i < 20; i++ {
+		events = append(events, stream.Event{Time: float64(i), Key: "k", Value: float64(i)})
+	}
+	global := core.Check{
+		Name:        "mono",
+		Constraint:  core.MonotonicIncrease(true),
+		SeriesNames: []string{"s"},
+		Window:      core.GlobalWindow{},
+	}
+	counts := runCheckGraph(t, StreamCheck{Check: global, Naive: true}, events, true, 1)
+	if counts.Total() != 1 || counts.Satisfied != 1 {
+		t.Errorf("global counts = %+v", counts)
+	}
+
+	// Two bursts separated by a gap > 5 form two sessions.
+	var sess []stream.Event
+	for i := 0; i < 5; i++ {
+		sess = append(sess, stream.Event{Time: float64(i), Key: "k", Value: 1})
+	}
+	for i := 0; i < 5; i++ {
+		sess = append(sess, stream.Event{Time: 20 + float64(i), Key: "k", Value: 1})
+	}
+	session := core.Check{
+		Name:        "range",
+		Constraint:  core.Range(0, 2),
+		SeriesNames: []string{"s"},
+		Window:      core.SessionWindow{Gap: 5},
+	}
+	counts = runCheckGraph(t, StreamCheck{Check: session, Naive: true}, sess, true, 1)
+	if counts.Total() != 2 || counts.Satisfied != 2 {
+		t.Errorf("session counts = %+v", counts)
+	}
+}
+
+// TestStreamCheckerCountSliding exercises overlapping count windows.
+func TestStreamCheckerCountSliding(t *testing.T) {
+	ck := core.Check{
+		Name:        "mono",
+		Constraint:  core.MonotonicIncrease(true),
+		SeriesNames: []string{"s"},
+		Window:      core.CountWindow{Size: 4, Slide: 2},
+	}
+	var events []stream.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, stream.Event{Time: float64(i), Key: "k", Value: float64(i)})
+	}
+	counts := runCheckGraph(t, StreamCheck{Check: ck, Naive: true}, events, true, 1)
+	// Windows start at indices 0, 2, 4, 6 — index 8 has only 2 points
+	// left and is dropped, matching the batch CountWindow.
+	if counts.Total() != 4 || counts.Satisfied != 4 {
+		t.Errorf("counts = %+v, want 4 satisfied windows", counts)
+	}
+}
+
+// TestNewStreamCheckerRejects covers the compile-time errors.
+func TestNewStreamCheckerRejects(t *testing.T) {
+	binaryNoRoute := StreamCheck{Check: core.Check{
+		Name:        "corr",
+		Constraint:  core.CorrelationAbove(0),
+		SeriesNames: []string{"a", "b"},
+		Window:      core.GlobalWindow{},
+	}}
+	if _, err := NewStreamChecker(binaryNoRoute); err == nil || !strings.Contains(err.Error(), "Route") {
+		t.Errorf("binary check without route: err = %v", err)
+	}
+
+	sessionBinary := StreamCheck{
+		Check: core.Check{
+			Name:        "corr",
+			Constraint:  core.CorrelationAbove(0),
+			SeriesNames: []string{"a", "b"},
+			Window:      core.SessionWindow{Gap: 1},
+		},
+		Route: ByInputKeys("a", "b"),
+	}
+	if _, err := NewStreamChecker(sessionBinary); err == nil {
+		t.Error("binary session check accepted")
+	}
+
+	invalid := StreamCheck{Check: core.Check{Name: "x"}}
+	if _, err := NewStreamChecker(invalid); err == nil {
+		t.Error("invalid check accepted")
+	}
+}
+
+// TestByKeyedInputs pins the composite-key parsing.
+func TestByKeyedInputs(t *testing.T) {
+	route := ByKeyedInputs("/", "x", "y")
+	if in, key, ok := route(stream.Event{Key: "h1/x"}); !ok || in != 0 || key != "h1" {
+		t.Errorf("h1/x -> %d %q %v", in, key, ok)
+	}
+	if in, key, ok := route(stream.Event{Key: "a/b/y"}); !ok || in != 1 || key != "a/b" {
+		t.Errorf("a/b/y -> %d %q %v", in, key, ok)
+	}
+	if _, _, ok := route(stream.Event{Key: "h1/z"}); ok {
+		t.Error("unknown tag routed")
+	}
+	if _, _, ok := route(stream.Event{Key: "nosep"}); ok {
+		t.Error("separator-free key routed")
+	}
+}
+
+// TestSuiteDuplicateCheckNames: results are keyed by name, so duplicates
+// must be rejected instead of silently overwritten.
+func TestSuiteDuplicateCheckNames(t *testing.T) {
+	s := buildSuite(t)
+	ck := s.Checks[0]
+	ck.Name = s.Checks[1].Name // collide with an existing check
+	s.Checks = append(s.Checks, ck)
+	if _, err := s.Run(core.DefaultParams(), 1); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("Run with duplicate names: err = %v", err)
+	}
+	if _, err := s.RunParallel(core.DefaultParams(), 1, 2); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("RunParallel with duplicate names: err = %v", err)
+	}
+	if _, err := s.RunNaive(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("RunNaive with duplicate names: err = %v", err)
+	}
+}
+
+// TestCompareOutcomesLengthMismatch: misaligned slices are an error, not
+// a silent truncation.
+func TestCompareOutcomesLengthMismatch(t *testing.T) {
+	sound := []core.Result{{Outcome: core.Satisfied}, {Outcome: core.Violated}}
+	naive := []core.Outcome{core.Satisfied}
+	if _, err := CompareOutcomes(sound, naive); err == nil {
+		t.Error("CompareOutcomes accepted mismatched lengths")
+	}
+	if _, err := Confuse(sound, naive); err == nil {
+		t.Error("Confuse accepted mismatched lengths")
+	}
+}

@@ -365,13 +365,13 @@ func (ck Check) Validate() error {
 }
 
 // Run evaluates the check on the given series (resolved in the order of
-// SeriesNames) with the evaluator.
+// SeriesNames) with the evaluator. It compiles a throwaway plan per
+// call; callers evaluating the same check repeatedly should CompilePlan
+// once and use the plan's Run* methods.
 func (ck Check) Run(e *Evaluator, ss []series.Series) ([]Result, error) {
-	if err := ck.Validate(); err != nil {
+	pl, err := CompilePlan(ck, e.Params(), 0)
+	if err != nil {
 		return nil, err
 	}
-	if len(ss) != ck.Constraint.Arity {
-		return nil, fmt.Errorf("core: check %q given %d series, want %d", ck.Name, len(ss), ck.Constraint.Arity)
-	}
-	return e.EvaluateAll(ck.Constraint, ck.Window, ss), nil
+	return pl.RunWith(e, ss)
 }

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"sound/internal/series"
 )
 
@@ -16,40 +13,14 @@ import (
 // Window evaluations are independent (paper §IV-B: "the evaluation of
 // the constraint function is done per k-valued window independently"),
 // which makes this the natural scale-out for large offline audits.
+//
+// This is a convenience wrapper over CompilePlan + CheckPlan.RunParallel
+// for callers holding a bare constraint; compile a plan once instead
+// when running the same check repeatedly.
 func EvaluateAllParallel(c Constraint, win Windower, ss []series.Series, params Params, seed uint64, workers int) ([]Result, error) {
-	p, err := params.normalized()
+	pl, err := newPlan(Check{Constraint: c, Window: win}, params, seed)
 	if err != nil {
 		return nil, err
 	}
-	tuples := win.Windows(ss)
-	out := make([]Result, len(tuples))
-	if len(tuples) == 0 {
-		return out, nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(tuples) {
-		workers = len(tuples)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One pooled evaluator per worker (params pre-normalized, so
-			// construction cannot fail), reseeded per window from the
-			// window index alone: allocations stay O(workers) while the
-			// per-window streams — and therefore the results — stay
-			// independent of the worker count.
-			e := MustEvaluator(p, 0)
-			for i := w; i < len(tuples); i += workers {
-				e.Reseed(seed ^ (uint64(i)*0x9e3779b97f4a7c15 + 1))
-				out[i] = e.Evaluate(c, tuples[i])
-			}
-		}()
-	}
-	wg.Wait()
-	return out, nil
+	return pl.runParallelTuples(nil, ss, workers)
 }

@@ -56,7 +56,10 @@ func RunTable5(opts Options) (*Table5Result, error) {
 			}
 			naiveRes = perSourceNaive(ds, ck)
 		}
-		a := checker.CompareOutcomes(soundRes, naiveRes)
+		a, err := checker.CompareOutcomes(soundRes, naiveRes)
+		if err != nil {
+			return nil, err
+		}
 		res.PerCheck[ck.Name] = a
 		res.Order = append(res.Order, ck.Name)
 		accs = append(accs, a)

@@ -1,6 +1,7 @@
 package smartgrid
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -105,7 +106,13 @@ func BuildStream(cfg Config, mode Mode, params core.Params, parallelism, events 
 		out := &checker.StreamOutcomes{}
 		app.Outcomes[ck.Name] = out
 		chk := g.AddOperator("check-"+name, parallelism,
-			checker.NewUnarySideChecker(ck, params, seed^uint64(len(name)*31), mode == BaseCheck, out))
+			checker.MustStreamChecker(checker.StreamCheck{
+				Check:  ck,
+				Params: params,
+				Seed:   seed ^ uint64(len(name)*31),
+				Naive:  mode == BaseCheck,
+				Out:    out,
+			}))
 		if keyed {
 			mustConnectStream(g.ConnectKeyed(from, chk))
 		} else {
@@ -169,3 +176,9 @@ func parseReading(rec string) (t, load, sig float64, err error) {
 
 // Run executes the streaming application and returns engine metrics.
 func (a *StreamApp) Run() (*stream.Metrics, error) { return a.Graph.Run() }
+
+// RunContext is Run honoring ctx: cancellation aborts the dataflow and
+// returns ctx.Err().
+func (a *StreamApp) RunContext(ctx context.Context) (*stream.Metrics, error) {
+	return a.Graph.RunContext(ctx)
+}

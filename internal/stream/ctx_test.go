@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancelTerminates cancels a graph whose source would emit
+// forever and requires RunContext to return promptly with the context
+// error and without leaking any worker, merge, or closer goroutines.
+// Run under -race this also shakes out unsynchronized shutdown paths.
+func TestRunContextCancelTerminates(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	g := NewGraph()
+	src := g.AddSource("infinite", func(emit EmitFunc) {
+		for i := 0; ; i++ {
+			emit(Event{Time: float64(i), Key: "k", Value: 1})
+		}
+	})
+	op := g.AddMap("slow", 2, func(ev Event, emit EmitFunc) {
+		time.Sleep(time.Microsecond)
+		emit(ev)
+	})
+	if err := g.ConnectKeyed(src, op); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(op, g.AddSink("sink", nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.RunContext(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("RunContext error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not terminate after cancellation")
+	}
+
+	// All graph goroutines must have exited; allow the runtime a moment
+	// to reap them before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestRunContextPreCancelled must not start work at all.
+func TestRunContextPreCancelled(t *testing.T) {
+	g := NewGraph()
+	src := g.AddSource("src", func(emit EmitFunc) {
+		for i := 0; i < 1000; i++ {
+			emit(Event{Time: float64(i)})
+		}
+	})
+	if err := g.Connect(src, g.AddSink("sink", nil)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled RunContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestProcessorPanicAbortsRun converts a panicking operator into a
+// run-wide error instead of crashing the process or deadlocking the
+// graph: the failing check aborts the whole dataflow.
+func TestProcessorPanicAbortsRun(t *testing.T) {
+	g := NewGraph()
+	src := g.AddSource("src", func(emit EmitFunc) {
+		for i := 0; i < 10000; i++ {
+			emit(Event{Time: float64(i), Key: "k"})
+		}
+	})
+	op := g.AddMap("bomb", 2, func(ev Event, emit EmitFunc) {
+		if ev.Time == 42 {
+			panic("check failed hard")
+		}
+		emit(ev)
+	})
+	if err := g.ConnectKeyed(src, op); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(op, g.AddSink("sink", nil)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.RunContext(context.Background())
+	if err == nil {
+		t.Fatal("panicking processor did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "bomb") || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("error = %v, want node name and panic notice", err)
+	}
+}
+
+// TestRunContextCleanBackground keeps the uncancelled path identical to
+// Run: a background context must not alter results.
+func TestRunContextCleanBackground(t *testing.T) {
+	count := 0
+	g := NewGraph()
+	src := g.AddSource("src", func(emit EmitFunc) {
+		for i := 0; i < 500; i++ {
+			emit(Event{Time: float64(i)})
+		}
+	})
+	if err := g.Connect(src, g.AddSink("sink", func(Event) { count++ })); err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 500 {
+		t.Errorf("sink saw %d events, want 500", count)
+	}
+	if m == nil {
+		t.Error("nil metrics on clean run")
+	}
+}

@@ -11,6 +11,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"sync"
@@ -98,15 +99,23 @@ type edge struct {
 	seed  maphash.Seed
 }
 
-func (e *edge) send(ev Event) {
+// send delivers the event, or reports false if the run was aborted while
+// the send was blocked on a full channel — the case that used to
+// deadlock a cancelled graph.
+func (e *edge) send(ev Event, done <-chan struct{}) bool {
+	ch := e.chans[0]
 	if e.keyed {
 		var h maphash.Hash
 		h.SetSeed(e.seed)
 		h.WriteString(ev.Key)
-		e.chans[h.Sum64()%uint64(len(e.chans))] <- ev
-		return
+		ch = e.chans[h.Sum64()%uint64(len(e.chans))]
 	}
-	e.chans[0] <- ev
+	select {
+	case ch <- ev:
+		return true
+	case <-done:
+		return false
+	}
 }
 
 // Graph is a dataflow topology under construction.
@@ -189,13 +198,51 @@ func (g *Graph) connect(from, to *Node, keyed bool) error {
 	return nil
 }
 
+// runAborted is the sentinel panic payload that unwinds a worker whose
+// emit hit a cancelled run. It never escapes Run.
+type runAborted struct{}
+
 // Run executes the graph to completion: all sources exhaust, all events
 // drain, all workers flush. It returns aggregated sink metrics.
-func (g *Graph) Run() (*Metrics, error) {
+func (g *Graph) Run() (*Metrics, error) { return g.RunContext(context.Background()) }
+
+// RunContext executes the graph under the context. Cancelling the
+// context aborts the run — sources, workers, and sinks unwind even when
+// blocked on full or empty channels, so no goroutines leak — and
+// RunContext returns ctx.Err(). A panicking processor likewise aborts
+// the whole graph and surfaces as an error instead of a deadlock.
+func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
 	}
 	m := newMetrics()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := runCtx.Done()
+	var (
+		errOnce sync.Once
+		runErr  error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			runErr = err
+			cancel()
+		})
+	}
+	// guard runs a worker body, translating the abort sentinel into a
+	// clean return and any other panic into a run-wide failure.
+	guard := func(name string, f func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(runAborted); ok {
+					return
+				}
+				fail(fmt.Errorf("stream: node %q panicked: %v", name, r))
+			}
+		}()
+		f()
+	}
 
 	// Materialize channels on every edge.
 	for _, n := range g.nodes {
@@ -271,7 +318,9 @@ func (g *Graph) Run() (*Metrics, error) {
 		return func(ev Event) {
 			n.emitted.Add(1)
 			for _, e := range edges {
-				e.send(ev)
+				if !e.send(ev, done) {
+					panic(runAborted{})
+				}
 			}
 		}
 	}
@@ -300,7 +349,7 @@ func (g *Graph) Run() (*Metrics, error) {
 			go func() {
 				defer wg.Done()
 				defer doneFor(n)()
-				n.gen(emitFor(n))
+				guard(n.name, func() { n.gen(emitFor(n)) })
 			}()
 		case kindOperator:
 			ib := inboxes[n]
@@ -318,18 +367,20 @@ func (g *Graph) Run() (*Metrics, error) {
 				go func() {
 					defer wg.Done()
 					defer doneFor(n)()
-					proc := n.newProc()
-					emit := emitFor(n)
-					// Keyed inputs dedicate channel w to worker w;
-					// shared inputs are consumed cooperatively.
-					var mine []chan Event
-					for _, c := range ib.chans {
-						mine = append(mine, c)
-					}
-					if keyedInbox(g, n) {
-						mine = pickWorkerChans(g, n, w)
-					}
-					consume(n, mine, proc, emit)
+					guard(n.name, func() {
+						proc := n.newProc()
+						emit := emitFor(n)
+						// Keyed inputs dedicate channel w to worker w;
+						// shared inputs are consumed cooperatively.
+						var mine []chan Event
+						for _, c := range ib.chans {
+							mine = append(mine, c)
+						}
+						if keyedInbox(g, n) {
+							mine = pickWorkerChans(g, n, w)
+						}
+						consume(n, mine, proc, emit, done)
+					})
 				}()
 			}
 		case kindSink:
@@ -337,13 +388,21 @@ func (g *Graph) Run() (*Metrics, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				sinkConsume(n, ib.chans, n.sinkFn, m, n.name)
+				guard(n.name, func() {
+					sinkConsume(n, ib.chans, n.sinkFn, m, n.name, done)
+				})
 			}()
 		}
 	}
 	wg.Wait()
 	closers.Wait()
 	m.stop()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -378,29 +437,47 @@ func pickWorkerChans(g *Graph, n *Node, w int) []chan Event {
 }
 
 // consume drains the channels (merged) through the processor, flushing
-// at end of stream.
-func consume(n *Node, chans []chan Event, proc Processor, emit EmitFunc) {
-	merged := merge(chans)
-	for ev := range merged {
-		n.processed.Add(1)
-		proc.Process(ev, emit)
-	}
-	proc.Flush(emit)
-}
-
-func sinkConsume(n *Node, chans []chan Event, fn func(Event), m *Metrics, sink string) {
-	merged := merge(chans)
-	for ev := range merged {
-		n.processed.Add(1)
-		m.record(sink, ev)
-		if fn != nil {
-			fn(ev)
+// at end of stream. An aborted run skips the flush: its output would be
+// partial and its sends could block.
+func consume(n *Node, chans []chan Event, proc Processor, emit EmitFunc, done <-chan struct{}) {
+	merged := merge(chans, done)
+	for {
+		select {
+		case ev, ok := <-merged:
+			if !ok {
+				proc.Flush(emit)
+				return
+			}
+			n.processed.Add(1)
+			proc.Process(ev, emit)
+		case <-done:
+			panic(runAborted{})
 		}
 	}
 }
 
-// merge fans multiple channels into one.
-func merge(chans []chan Event) <-chan Event {
+func sinkConsume(n *Node, chans []chan Event, fn func(Event), m *Metrics, sink string, done <-chan struct{}) {
+	merged := merge(chans, done)
+	for {
+		select {
+		case ev, ok := <-merged:
+			if !ok {
+				return
+			}
+			n.processed.Add(1)
+			m.record(sink, ev)
+			if fn != nil {
+				fn(ev)
+			}
+		case <-done:
+			panic(runAborted{})
+		}
+	}
+}
+
+// merge fans multiple channels into one, abandoning the fan-in when the
+// run aborts so the helper goroutines never block on a dead consumer.
+func merge(chans []chan Event, done <-chan struct{}) <-chan Event {
 	if len(chans) == 1 {
 		return chans[0]
 	}
@@ -410,8 +487,20 @@ func merge(chans []chan Event) <-chan Event {
 		wg.Add(1)
 		go func(c chan Event) {
 			defer wg.Done()
-			for ev := range c {
-				out <- ev
+			for {
+				select {
+				case ev, ok := <-c:
+					if !ok {
+						return
+					}
+					select {
+					case out <- ev:
+					case <-done:
+						return
+					}
+				case <-done:
+					return
+				}
 			}
 		}(c)
 	}

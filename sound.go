@@ -147,6 +147,40 @@ type Result = core.Result
 // Check is a sanity check λ = (φᵏ, sᵏ, ψ).
 type Check = core.Check
 
+// CheckPlan is a check compiled for execution: validated once, with
+// normalized parameters, a precomputed decision table, and a classified
+// window assigner. All execution paths — sequential, parallel, naive,
+// and the streaming operators — run off the same plan.
+type CheckPlan = core.CheckPlan
+
+// CompilePlan validates a check and compiles it into an executable plan
+// with base seed seed.
+func CompilePlan(ck Check, params Params, seed uint64) (*CheckPlan, error) {
+	return core.CompilePlan(ck, params, seed)
+}
+
+// WindowAssigner is the compiled, engine-neutral form of a windowing
+// function: its kind plus the numeric parameters needed to assign any
+// event to window boundaries.
+type WindowAssigner = core.WindowAssigner
+
+// WindowKind classifies a windowing function's assignment semantics.
+type WindowKind = core.WindowKind
+
+// WindowKind values.
+const (
+	KindPoint        = core.KindPoint
+	KindTumblingTime = core.KindTumblingTime
+	KindSlidingTime  = core.KindSlidingTime
+	KindCount        = core.KindCount
+	KindGlobal       = core.KindGlobal
+	KindSession      = core.KindSession
+	KindCustom       = core.KindCustom
+)
+
+// ClassifyWindow compiles a windowing function into a WindowAssigner.
+func ClassifyWindow(w Windower) WindowAssigner { return core.ClassifyWindow(w) }
+
 // EvaluateNaive applies a constraint to raw window values, ignoring all
 // data-quality issues (the BASE_CHECK baseline).
 func EvaluateNaive(c Constraint, w WindowTuple) Outcome { return core.EvaluateNaive(c, w) }

@@ -108,7 +108,8 @@ type Suite = checker.Suite
 type Accuracy = checker.Accuracy
 
 // CompareOutcomes computes the accuracy of naive outcomes against SOUND
-// results on identical windows.
-func CompareOutcomes(sound []Result, naive []Outcome) Accuracy {
+// results on identical windows. It errors when the slices are not
+// index-aligned.
+func CompareOutcomes(sound []Result, naive []Outcome) (Accuracy, error) {
 	return checker.CompareOutcomes(sound, naive)
 }
