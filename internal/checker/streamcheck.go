@@ -225,7 +225,6 @@ type streamChecker struct {
 	route   RouteFunc
 	groups  map[string]*groupState
 	// Reusable scratch keeps the per-event hot path allocation-free.
-	startBuf []float64
 	pointBuf series.Series
 	winBuf   [1]series.Series
 }
@@ -233,25 +232,36 @@ type streamChecker struct {
 // groupState is the window state of one route group (one key, or the
 // global group "").
 type groupState struct {
-	// open time windows, ascending by start.
-	open []*openWindow
-	// minT tracks the earliest event time seen, anchoring the slide grid
-	// so the stream emits the same window set a batch run would.
-	minT      float64
-	hasMin    bool
+	// Time-window grid state. The grid is anchored at origin, the group's
+	// first observed timestamp, and replicates the batch TimeWindow loop
+	// verbatim: starts advance from origin by slide with the same float
+	// accumulation. nextStart is the start of the earliest un-fired
+	// window; fired records whether any window has fired yet (while it is
+	// false an out-of-order arrival below origin may still re-anchor the
+	// grid, exactly as a batch run over the full series would).
+	origin    float64
+	hasOrigin bool
+	nextStart float64
+	fired     bool
 	watermark float64
+	// raw accumulates the not-yet-consumed points per input for time
+	// windows; windows are sliced from it at fire time with the same
+	// SliceTime the batch path uses.
+	raw []series.Series
 	// bufs accumulates points per input for count/global/session kinds.
 	bufs []series.Series
+	// Count-window alignment: drop[i] is the absolute index of bufs[i][0]
+	// in input i's full point sequence; nextIdx is the absolute start
+	// index of the earliest un-fired count window. Tracking absolute
+	// indices lets Slide > Size hop over points exactly like the batch
+	// CountWindow instead of re-slicing past the buffer end.
+	drop    []int
+	nextIdx int
 	// pend queues points per input for point-wise alignment (arity > 1).
 	pend []series.Series
 	// session bounds.
 	sessStart, sessPrev float64
 	sessOpen            bool
-}
-
-type openWindow struct {
-	start, end float64
-	bufs       []series.Series
 }
 
 func (c *streamChecker) group(key string) *groupState {
@@ -335,99 +345,135 @@ func (c *streamChecker) processPoint(key string, input int, p series.Point) {
 	}
 }
 
-// processTime maintains the open time windows of one group. Each event
-// is appended to every window covering its timestamp (one for tumbling,
-// up to ⌈size/slide⌉ for sliding); a window fires once the group's
-// watermark — the maximum event time seen — passes its end, so events
-// arriving out of order within a still-open window land in the correct
-// buffers.
+// processTime buffers the event and fires every time window the group's
+// watermark — the maximum event time seen — has closed. The window grid
+// is anchored at the group's first observed timestamp, matching the
+// batch TimeWindow, which starts at the union-span minimum; events
+// arriving out of order within a still-open window are buffered and
+// time-sorted before slicing, so they land in the correct windows. A
+// late event below the fired horizon is dropped (after forwarding):
+// every window containing it has already fired, and re-opening a closed
+// window would evaluate the same boundaries twice.
 func (c *streamChecker) processTime(key string, input int, p series.Point) {
 	g := c.group(key)
-	if !g.hasMin || p.T < g.minT {
-		g.minT = p.T
-		g.hasMin = true
+	if !g.hasOrigin {
+		g.origin, g.nextStart, g.watermark = p.T, p.T, p.T
+		g.hasOrigin = true
+	} else if p.T < g.origin && !g.fired {
+		// Out-of-order arrival before the anchor while no window has
+		// fired yet: shift the grid to the new first timestamp, exactly
+		// what a batch run over the full series would use.
+		g.origin, g.nextStart = p.T, p.T
 	}
-	// Anchor the grid at the group's first timestamp so the stream emits
-	// the same window sequence a batch TimeWindow run over the collected
-	// series would (batch windows start at the first observation).
-	minStart := c.asg.AlignStart(g.minT)
-	c.startBuf = c.asg.CoveringStarts(c.startBuf[:0], p.T, minStart)
-	for _, s := range c.startBuf {
-		w := g.window(s, s+c.asg.Size, c.arity)
-		w.bufs[input] = append(w.bufs[input], p)
+	if p.T < g.nextStart {
+		// Every window containing p (starts in (p.T−size, p.T]) already
+		// fired; dropping keeps each window's boundaries evaluated once.
+		return
 	}
+	if g.raw == nil {
+		g.raw = make([]series.Series, c.arity)
+	}
+	g.raw[input] = append(g.raw[input], p)
 	if p.T > g.watermark {
 		g.watermark = p.T
 	}
-	fired := 0
-	for fired < len(g.open) && g.open[fired].end <= g.watermark {
-		c.fireWindow(g.open[fired])
-		fired++
-	}
-	if fired > 0 {
-		g.open = append(g.open[:0], g.open[fired:]...)
-	}
+	c.fireDueTimeWindows(g, false)
 }
 
-// window returns the open window starting at s, inserting it in start
-// order if absent.
-func (g *groupState) window(start, end float64, arity int) *openWindow {
-	i := sort.Search(len(g.open), func(i int) bool { return g.open[i].start >= start })
-	if i < len(g.open) && g.open[i].start == start {
-		return g.open[i]
-	}
-	w := &openWindow{start: start, end: end, bufs: make([]series.Series, arity)}
-	g.open = append(g.open, nil)
-	copy(g.open[i+1:], g.open[i:])
-	g.open[i] = w
-	return w
-}
-
-// fireWindow evaluates a closed time window. Buffers are sorted by event
-// time first, so an out-of-order arrival inside the window yields the
-// same tuple a batch run over the time-ordered series would see.
-func (c *streamChecker) fireWindow(w *openWindow) {
-	nonEmpty := false
-	for _, buf := range w.bufs {
-		sortByTime(buf)
-		if len(buf) > 0 {
-			nonEmpty = true
-		}
-	}
-	if !nonEmpty {
+// fireDueTimeWindows evaluates, in grid order, every window the group's
+// watermark has closed (end <= watermark); with final it extends to
+// every window batch would emit (start <= last timestamp). The loop
+// replicates batch TimeWindow.Windows verbatim — same anchor, same
+// float accumulation of starts, same half-open SliceTime — and empty
+// grid slots across data gaps are evaluated too, so the stream emits
+// the identical window tuple sequence.
+func (c *streamChecker) fireDueTimeWindows(g *groupState, final bool) {
+	if !g.hasOrigin || c.asg.Size <= 0 || c.asg.Slide <= 0 {
 		return
 	}
-	c.evaluate(core.WindowTuple{Windows: w.bufs, Start: w.start, End: w.end})
+	for i := range g.raw {
+		sortByTime(g.raw[i])
+	}
+	for {
+		start, end := g.nextStart, g.nextStart+c.asg.Size
+		if final {
+			if start > g.watermark {
+				return
+			}
+		} else if end > g.watermark {
+			return
+		}
+		ws := make([]series.Series, c.arity)
+		for i := range g.raw {
+			ws[i] = g.raw[i].SliceTime(start, end)
+		}
+		c.evaluate(core.WindowTuple{Windows: ws, Start: start, End: end})
+		g.fired = true
+		g.nextStart += c.asg.Slide
+		for i := range g.raw {
+			// Points below the next start belong only to fired windows.
+			// Copy down into a fresh array instead of re-slicing: the
+			// evaluated window aliased this one, so later appends must not
+			// clobber it — and the buffer must not grow unboundedly.
+			if n := g.raw[i].At(g.nextStart); n > 0 {
+				rest := g.raw[i][n:]
+				next := make(series.Series, len(rest), len(rest)+n)
+				copy(next, rest)
+				g.raw[i] = next
+			}
+		}
+	}
 }
 
 // processCount accumulates per-input buffers and fires count windows as
-// soon as every input holds a full window, advancing by the slide —
-// index-aligned across inputs exactly like the batch CountWindow.
+// soon as every input covers the next window's absolute index range
+// [nextIdx, nextIdx+count) — index-aligned across inputs exactly like
+// the batch CountWindow. Absolute indices (buffer offset + drop count)
+// make every slide legal: overlapping (Slide < Size), tumbling, and
+// hopping (Slide > Size), where the points in the skipped gap are
+// discarded on arrival just as batch never materializes them.
 func (c *streamChecker) processCount(key string, input int, p series.Point) {
+	if c.asg.Count <= 0 || c.asg.CountSlide <= 0 {
+		return
+	}
 	g := c.group(key)
 	bufs := g.inputs(c.arity)
+	if g.drop == nil {
+		g.drop = make([]int, c.arity)
+	}
+	if g.drop[input]+len(bufs[input]) < g.nextIdx {
+		// The point's index falls in a gap the slide hopped over.
+		g.drop[input]++
+		return
+	}
 	bufs[input] = append(bufs[input], p)
 	for {
 		for i := range bufs {
-			if len(bufs[i]) < c.asg.Count {
+			if g.drop[i]+len(bufs[i]) < g.nextIdx+c.asg.Count {
 				return
 			}
 		}
 		ws := make([]series.Series, c.arity)
 		for i := range bufs {
-			ws[i] = bufs[i][:c.asg.Count:c.asg.Count]
+			off := g.nextIdx - g.drop[i]
+			ws[i] = bufs[i][off : off+c.asg.Count : off+c.asg.Count]
 		}
 		start, end := ws[0][0].T, ws[0][len(ws[0])-1].T
 		c.evaluate(core.WindowTuple{Windows: ws, Start: start, End: end})
-		slide := c.asg.CountSlide
+		g.nextIdx += c.asg.CountSlide
 		for i := range bufs {
+			n := g.nextIdx - g.drop[i]
+			if n > len(bufs[i]) {
+				n = len(bufs[i])
+			}
 			// Copy down instead of re-slicing: the evaluated window
 			// aliased the array head, so the next append must not
 			// clobber it — and the buffer must not grow unboundedly.
-			rest := bufs[i][slide:]
+			rest := bufs[i][n:]
 			next := make(series.Series, len(rest), c.asg.Count+len(rest))
 			copy(next, rest)
 			bufs[i] = next
+			g.drop[i] += n
 		}
 	}
 }
@@ -473,10 +519,9 @@ func (c *streamChecker) Flush(stream.EmitFunc) {
 		g := c.groups[k]
 		switch c.asg.Kind {
 		case core.KindTumblingTime, core.KindSlidingTime:
-			for _, w := range g.open {
-				c.fireWindow(w)
-			}
-			g.open = g.open[:0]
+			// Fire the remaining grid slots batch would emit: every start
+			// at or below the last observed timestamp.
+			c.fireDueTimeWindows(g, true)
 		case core.KindGlobal:
 			nonEmpty := false
 			for _, buf := range g.bufs {

@@ -226,6 +226,104 @@ func TestBatchStreamParityTumbling(t *testing.T) {
 	}
 }
 
+// TestBatchStreamParityOffGridStart: the first timestamp (3.7) is not a
+// multiple of the slide, spacing is irregular, the first two events
+// arrive out of order, and a silence longer than the window size forces
+// the batch grid to emit empty windows across the gap. The stream must
+// anchor its grid at the group's first observation (re-anchoring on the
+// out-of-order arrival) and evaluate the identical window sequence —
+// including the empty slots — for tumbling and sliding windows alike.
+func TestBatchStreamParityOffGridStart(t *testing.T) {
+	times := []float64{3.7, 4.2, 9.9, 17.3, 21.0, 22.5, 48.1, 103.6, 110.2, 111.9}
+	var s series.Series
+	var events []stream.Event
+	for i, ts := range times {
+		v := float64(10 + i)
+		s = append(s, series.Point{T: ts, V: v})
+		events = append(events, stream.Event{Time: ts, Key: "k", Value: v})
+	}
+	// Deliver the anchor event second: the stream grid must shift to 3.7
+	// when it arrives, since no window has fired yet.
+	events[0], events[1] = events[1], events[0]
+
+	for _, win := range []core.TimeWindow{{Size: 10}, {Size: 10, Slide: 4}} {
+		ck := core.Check{
+			Name:        "range",
+			Constraint:  core.Range(0, 100),
+			SeriesNames: []string{"s"},
+			Window:      win,
+		}
+		batch := core.EvaluateAllNaive(ck.Constraint, win, []series.Series{s})
+		var want OutcomeCounts
+		for _, o := range batch {
+			switch o {
+			case core.Satisfied:
+				want.Satisfied++
+			case core.Violated:
+				want.Violated++
+			default:
+				want.Inconclusive++
+			}
+		}
+		if want.Inconclusive == 0 {
+			t.Fatalf("%v: workload has no empty gap windows, test is vacuous", win)
+		}
+		got := runCheckGraph(t, StreamCheck{Check: ck, Naive: true}, events, true, 1)
+		if got != want {
+			t.Errorf("%v: stream counts %+v != batch counts %+v", win, got, want)
+		}
+	}
+}
+
+// TestStreamCheckerLateEventDropped: an event below the fired horizon
+// must be dropped, not re-open a closed window — each window's
+// boundaries are evaluated exactly once.
+func TestStreamCheckerLateEventDropped(t *testing.T) {
+	ck := core.Check{
+		Name:        "range",
+		Constraint:  core.Range(0, 100),
+		SeriesNames: []string{"s"},
+		Window:      core.TimeWindow{Size: 5},
+	}
+	events := []stream.Event{
+		{Time: 0, Key: "k", Value: 1},
+		{Time: 3, Key: "k", Value: 1},
+		{Time: 7, Key: "k", Value: 1}, // watermark 7 closes [0,5)
+		{Time: 2, Key: "k", Value: 1}, // late: its only window already fired
+	}
+	counts := runCheckGraph(t, StreamCheck{Check: ck, Naive: true}, events, true, 1)
+	// Exactly the grid windows [0,5) and [5,10) — no duplicate [0,5).
+	if counts.Total() != 2 {
+		t.Errorf("total = %d, want 2 (late event must not re-fire a closed window)", counts.Total())
+	}
+}
+
+// TestStreamCheckerCountHopping: Slide > Size hops over points. The old
+// operator sliced past the buffer end and panicked; the batch
+// CountWindow emits windows at indices 0-1, 5-6, 10-11.
+func TestStreamCheckerCountHopping(t *testing.T) {
+	win := core.CountWindow{Size: 2, Slide: 5}
+	ck := core.Check{
+		Name:        "mono",
+		Constraint:  core.MonotonicIncrease(true),
+		SeriesNames: []string{"s"},
+		Window:      win,
+	}
+	var s series.Series
+	var events []stream.Event
+	for i := 0; i < 12; i++ {
+		s = append(s, series.Point{T: float64(i), V: float64(i)})
+		events = append(events, stream.Event{Time: float64(i), Key: "k", Value: float64(i)})
+	}
+	if n := len(core.EvaluateAllNaive(ck.Constraint, win, []series.Series{s})); n != 3 {
+		t.Fatalf("batch windows = %d, want 3", n)
+	}
+	counts := runCheckGraph(t, StreamCheck{Check: ck, Naive: true}, events, true, 1)
+	if counts.Total() != 3 || counts.Satisfied != 3 {
+		t.Errorf("counts = %+v, want 3 satisfied hopping windows", counts)
+	}
+}
+
 // TestStreamCheckerGlobalAndSession covers the window kinds the old
 // operators never supported online.
 func TestStreamCheckerGlobalAndSession(t *testing.T) {

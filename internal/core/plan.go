@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
@@ -101,44 +100,6 @@ func ClassifyWindow(w Windower) WindowAssigner {
 		return WindowAssigner{Kind: KindSession, Gap: win.Gap}
 	}
 	return WindowAssigner{Kind: KindCustom}
-}
-
-// AlignStart returns the slide-grid-aligned window start at or below t.
-// Floor, not truncation, so negative event times land in the correct
-// slot (t = −1, size = 10 belongs to [−10, 0), not [0, 10)).
-func (a WindowAssigner) AlignStart(t float64) float64 {
-	step := a.Slide
-	if step <= 0 {
-		step = a.Size
-	}
-	if step <= 0 {
-		return t
-	}
-	return math.Floor(t/step) * step
-}
-
-// CoveringStarts appends (ascending) the grid-aligned starts of every
-// window that contains time t and starts at or after minStart. Tumbling
-// windows yield exactly one start; sliding windows yield up to
-// ⌈size/slide⌉.
-func (a WindowAssigner) CoveringStarts(dst []float64, t, minStart float64) []float64 {
-	if a.Size <= 0 {
-		return dst
-	}
-	slide := a.Slide
-	if slide <= 0 {
-		slide = a.Size
-	}
-	// A window [s, s+size) contains t iff t-size < s <= t; the lowest
-	// grid start above t-size is floor((t-size)/slide)·slide + slide.
-	low := math.Floor((t-a.Size)/slide)*slide + slide
-	if low < minStart {
-		low = minStart
-	}
-	for s := low; s <= t; s += slide {
-		dst = append(dst, s)
-	}
-	return dst
 }
 
 // CheckPlan is a sanity check compiled for execution: the check is

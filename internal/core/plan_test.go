@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math"
 	"reflect"
 	"testing"
 
@@ -45,40 +44,6 @@ func TestWindowKindString(t *testing.T) {
 			t.Errorf("kind %d: bad or duplicate name %q", k, s)
 		}
 		seen[s] = true
-	}
-}
-
-func TestAlignStart(t *testing.T) {
-	a := WindowAssigner{Kind: KindTumblingTime, Size: 10, Slide: 10}
-	if got := a.AlignStart(25); got != 20 {
-		t.Errorf("AlignStart(25) = %v, want 20", got)
-	}
-	// Floor semantics for negative event time.
-	if got := a.AlignStart(-1); got != -10 {
-		t.Errorf("AlignStart(-1) = %v, want -10", got)
-	}
-	sliding := WindowAssigner{Kind: KindSlidingTime, Size: 10, Slide: 4}
-	if got := sliding.AlignStart(11); got != 8 {
-		t.Errorf("sliding AlignStart(11) = %v, want 8", got)
-	}
-}
-
-func TestCoveringStarts(t *testing.T) {
-	tumbling := WindowAssigner{Kind: KindTumblingTime, Size: 10, Slide: 10}
-	got := tumbling.CoveringStarts(nil, 25, math.Inf(-1))
-	if !reflect.DeepEqual(got, []float64{20}) {
-		t.Errorf("tumbling covering starts = %v, want [20]", got)
-	}
-	sliding := WindowAssigner{Kind: KindSlidingTime, Size: 10, Slide: 4}
-	// t = 13 is covered by windows starting at 4, 8, 12.
-	got = sliding.CoveringStarts(nil, 13, math.Inf(-1))
-	if !reflect.DeepEqual(got, []float64{4, 8, 12}) {
-		t.Errorf("sliding covering starts = %v, want [4 8 12]", got)
-	}
-	// minStart clips windows before the first observation.
-	got = sliding.CoveringStarts(nil, 13, 8)
-	if !reflect.DeepEqual(got, []float64{8, 12}) {
-		t.Errorf("clipped covering starts = %v, want [8 12]", got)
 	}
 }
 
