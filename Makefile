@@ -26,4 +26,4 @@ bench:
 
 # benchjson regenerates the machine-readable hot-path benchmark record.
 benchjson:
-	$(GO) run ./cmd/soundbench -benchjson BENCH_PR2.json
+	$(GO) run ./cmd/soundbench -benchjson BENCH_PR3.json

@@ -10,6 +10,7 @@ package sound_test
 // ablations additionally report domain metrics via b.ReportMetric.
 
 import (
+	"runtime"
 	"testing"
 
 	"sound"
@@ -104,4 +105,19 @@ func BenchmarkStreamCheck(b *testing.B) {
 	b.Run("tumbling", func(b *testing.B) { bench.StreamCheck(b, sound.TimeWindow{Size: 60}) })
 	b.Run("sliding", func(b *testing.B) { bench.StreamCheck(b, sound.TimeWindow{Size: 60, Slide: 30}) })
 	b.Run("count", func(b *testing.B) { bench.StreamCheck(b, sound.CountWindow{Size: 32}) })
+}
+
+// BenchmarkExplain measures one change-point explanation (§V-B what-if
+// re-evaluations) for unary and binary checks.
+func BenchmarkExplain(b *testing.B) {
+	b.Run("unary", func(b *testing.B) { bench.Explain(b, 1) })
+	b.Run("binary", func(b *testing.B) { bench.Explain(b, 2) })
+}
+
+// BenchmarkSummarize measures the full violation analysis of a
+// multi-change-point result sequence, sequentially and fanned out over
+// GOMAXPROCS pooled analyzers (bit-identical outputs).
+func BenchmarkSummarize(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { bench.Summarize(b, 0) })
+	b.Run("parallel", func(b *testing.B) { bench.Summarize(b, runtime.GOMAXPROCS(0)) })
 }

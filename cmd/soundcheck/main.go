@@ -10,9 +10,11 @@
 //	soundcheck -constraint monotonic -window count:10 work.csv
 //	soundcheck -constraint corr -threshold 0.2 -window time:30 a.csv b.csv
 //	soundcheck -constraint range -min 0 -max 1 -naive normalized.csv
+//	soundcheck -constraint gt -threshold 10 -window time:20 -explain -parallel series.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Uint64("seed", 1, "deterministic seed")
 		naive      = fs.Bool("naive", false, "use the naive (quality-ignorant) evaluation")
 		streaming  = fs.Bool("stream", false, "replay the series through the streaming engine and evaluate the check online (summary only)")
+		explain    = fs.Bool("explain", false, "run the violation analysis (change points, explanations E1-E6) on the results")
+		parallel   = fs.Bool("parallel", false, "fan the violation analysis out over GOMAXPROCS workers (with -explain; output is identical to sequential)")
 		verbose    = fs.Bool("v", false, "print every window outcome, not just the summary")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,7 +82,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	check := sound.Check{Name: *constraint, Constraint: c, SeriesNames: fs.Args(), Window: win}
 
+	if *explain && (*naive || *streaming) {
+		return fail(stderr, fmt.Errorf("-explain needs the full SOUND evaluation (drop -naive/-stream)"))
+	}
+
 	counts := map[sound.Outcome]int{}
+	var results []sound.Result
 	if *streaming {
 		var err error
 		counts, err = runStream(check, ss, sound.Params{Credibility: *cred, MaxSamples: *maxSamples}, *seed, *naive)
@@ -99,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
-		results, err := check.Run(eval, ss)
+		results, err = check.Run(eval, ss)
 		if err != nil {
 			return fail(stderr, err)
 		}
@@ -114,6 +123,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	total := counts[sound.Satisfied] + counts[sound.Violated] + counts[sound.Inconclusive]
 	fmt.Fprintf(stdout, "%s: %d windows — ⊤ %d, ⊥ %d, ⊣ %d\n",
 		check.Name, total, counts[sound.Satisfied], counts[sound.Violated], counts[sound.Inconclusive])
+	if *explain {
+		params := sound.Params{Credibility: *cred, MaxSamples: *maxSamples}
+		a, err := sound.NewAnalyzer(params, *seed)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		var sum *sound.Summary
+		if *parallel {
+			sum, err = sound.SummarizeParallel(context.Background(), check, results, a, nil, *cred, 0)
+			if err != nil {
+				return fail(stderr, err)
+			}
+		} else {
+			sum = sound.Summarize(check, results, a, nil, *cred)
+		}
+		fmt.Fprint(stdout, sum.String())
+	}
 	if counts[sound.Violated] > 0 {
 		return 2
 	}
@@ -133,9 +159,9 @@ func fail(stderr io.Writer, err error) int {
 func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed uint64, naive bool) (map[sound.Outcome]int, error) {
 	out := &checker.StreamOutcomes{}
 	factory, err := checker.NewStreamChecker(checker.StreamCheck{
-		Check:  check,
-		Params: params,
-		Seed:   seed,
+		Check:   check,
+		Params:  params,
+		Seed:    seed,
 		Naive:   naive,
 		Forward: true,
 		Out:     out,

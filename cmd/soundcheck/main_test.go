@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,6 +86,46 @@ func TestSessionWindowSpec(t *testing.T) {
 	}
 	if !strings.Contains(out, "2 windows") {
 		t.Errorf("session windows not applied: %q", out)
+	}
+}
+
+// explainCSV is a workload with a mid-series uncertainty regression, so
+// the violation analysis finds at least one change point to explain.
+func explainCSV(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("t,v,sig_up,sig_down\n")
+	for i := 0; i < 80; i++ {
+		sig := 0.1
+		if i >= 40 {
+			sig = 6.0
+		}
+		fmt.Fprintf(&b, "%d,10.5,%g,%g\n", i, sig, sig)
+	}
+	return writeCSV(t, "explain.csv", b.String())
+}
+
+func TestExplainFlag(t *testing.T) {
+	path := explainCSV(t)
+	args := []string{"-constraint", "gt", "-threshold", "10", "-window", "time:10", "-explain"}
+	_, seqOut, _ := runTool(t, append(args, path)...)
+	if !strings.Contains(seqOut, "change point") {
+		t.Fatalf("no violation summary in output: %q", seqOut)
+	}
+	// The parallel engine must print the bit-identical summary.
+	_, parOut, _ := runTool(t, append(args, "-parallel", path)...)
+	if parOut != seqOut {
+		t.Errorf("-parallel output differs:\n%q\nvs\n%q", parOut, seqOut)
+	}
+}
+
+func TestExplainRejectsNaiveAndStream(t *testing.T) {
+	path := writeCSV(t, "s.csv", "t,v\n1,5\n")
+	for _, extra := range []string{"-naive", "-stream"} {
+		code, _, errOut := runTool(t, "-constraint", "range", "-min", "0", "-max", "10", "-explain", extra, path)
+		if code != 1 || !strings.Contains(errOut, "explain") {
+			t.Errorf("%s: exit = %d, stderr = %q", extra, code, errOut)
+		}
 	}
 }
 

@@ -6,6 +6,8 @@
 package bench
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"sound"
@@ -39,6 +41,10 @@ func Specs() []Spec {
 		{"StreamCheck/tumbling", func(b *testing.B) { StreamCheck(b, sound.TimeWindow{Size: 60}) }},
 		{"StreamCheck/sliding", func(b *testing.B) { StreamCheck(b, sound.TimeWindow{Size: 60, Slide: 30}) }},
 		{"StreamCheck/count", func(b *testing.B) { StreamCheck(b, sound.CountWindow{Size: 32}) }},
+		{"Explain/unary", func(b *testing.B) { Explain(b, 1) }},
+		{"Explain/binary", func(b *testing.B) { Explain(b, 2) }},
+		{"Summarize/sequential", func(b *testing.B) { Summarize(b, 0) }},
+		{"Summarize/parallel", func(b *testing.B) { Summarize(b, runtime.GOMAXPROCS(0)) }},
 	}
 }
 
@@ -138,6 +144,116 @@ func StreamCheck(b *testing.B, win sound.Windower) {
 		p.Flush(emit)
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(events)), "ns/event")
+}
+
+// trendWindow builds an n-point window with a linear trend plus a small
+// deterministic ripple, uniform uncertainty sigma, and unit time spacing.
+func trendWindow(n int, base, slope, sigma float64) sound.Series {
+	s := make(sound.Series, n)
+	for i := range s {
+		s[i] = sound.Point{
+			T: float64(i), V: base + slope*float64(i) + 0.1*float64(i%5),
+			SigUp: sigma, SigDown: sigma,
+		}
+	}
+	return s
+}
+
+// Explain measures the explanation of one change point (paper §V-B
+// what-if re-evaluations) for a check of the given arity. The windows
+// differ in sparsity and uncertainty, so the E2 and E4 counterfactual
+// Monte-Carlo evaluations both run — the per-unit work the parallel
+// engine fans out.
+func Explain(b *testing.B, arity int) {
+	var c sound.Constraint
+	switch arity {
+	case 1:
+		c = sound.GreaterThan(10)
+		c.Granularity = sound.WindowTime
+	case 2:
+		c = sound.CorrelationAbove(0.2)
+	default:
+		b.Fatalf("unsupported arity %d", arity)
+	}
+	pos := make([]sound.Series, arity)
+	neg := make([]sound.Series, arity)
+	for j := range pos {
+		pos[j] = trendWindow(48, 12, 0.05*float64(j+1), 2)
+		neg[j] = trendWindow(16, 7, -0.05*float64(j+1), 3)
+	}
+	cp := sound.ChangePoint{
+		Index: 1,
+		Pos:   sound.WindowTuple{Windows: pos, Start: 0, End: 1, Index: 0},
+		Neg:   sound.WindowTuple{Windows: neg, Start: 1, End: 2, Index: 1},
+	}
+	a, err := sound.NewAnalyzer(sound.Params{Credibility: 0.95, MaxSamples: 100}, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Explain(c, cp)
+	}
+}
+
+// Summarize measures the full violation analysis of a result sequence
+// with ~19 change points: sequential (workers == 0, the Summarize path)
+// or fanned out over the given worker count (SummarizeParallel). The
+// outputs are bit-identical; the ratio of the two specs is the Alg. 2
+// path's parallel speedup (1 on a single-core host, where the specs also
+// bound the engine's coordination overhead).
+func Summarize(b *testing.B, workers int) {
+	// Alternating regimes of 20 time units: dense satisfied windows
+	// (30±2, clearly above threshold) and sparse, more uncertain violated
+	// windows (7±3), so every regime boundary is a change point whose
+	// E2/E4 what-ifs re-run the Monte-Carlo evaluation.
+	var s sound.Series
+	for i := 0; i < 400; i++ {
+		if (i/20)%2 == 1 {
+			if i%3 != 0 {
+				continue // sparse violated windows
+			}
+			s = append(s, sound.Point{T: float64(i), V: 7, SigUp: 3, SigDown: 3})
+		} else {
+			s = append(s, sound.Point{T: float64(i), V: 30, SigUp: 2, SigDown: 2})
+		}
+	}
+	c := sound.GreaterThan(10)
+	c.Granularity = sound.WindowTime
+	check := sound.Check{
+		Name:        "gt10",
+		Constraint:  c,
+		SeriesNames: []string{"s"},
+		Window:      sound.TimeWindow{Size: 20},
+	}
+	params := sound.Params{Credibility: 0.95, MaxSamples: 100}
+	eval, err := sound.NewEvaluator(params, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, err := check.Run(eval, []sound.Series{s})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := sound.NewAnalyzer(params, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cps := len(sound.ChangePoints(results))
+	if cps < 5 {
+		b.Fatalf("workload has only %d change points", cps)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers <= 0 {
+			_ = sound.Summarize(check, results, a, nil, 0.95)
+		} else if _, err := sound.SummarizeParallel(context.Background(), check, results, a, nil, 0.95, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cps), "changepoints")
 }
 
 // clearCutSeries returns an uncertain series whose range check is

@@ -151,6 +151,16 @@ func (e *Evaluator) Reseed(seed uint64) {
 	}
 }
 
+// Derive returns a fresh evaluator with the receiver's normalized
+// parameters and the same shared decision table, seeded at exactly seed.
+// Worker pools use it to stamp out per-goroutine evaluators without
+// re-normalizing parameters or re-resolving the boundary table from the
+// process-wide cache; the result is indistinguishable from
+// NewEvaluator(Params(), seed).
+func (e *Evaluator) Derive(seed uint64) *Evaluator {
+	return &Evaluator{params: e.params, r: rng.New(seed), bounds: e.bounds}
+}
+
 // Evaluate runs γ(φ, wᵏ, c, N) on one window tuple (paper Alg. 1).
 //
 // Each iteration draws a quality-aware resample of the k windows,

@@ -173,6 +173,15 @@ func (pl *CheckPlan) NewEvaluator(seedOffset uint64) *Evaluator {
 	return &Evaluator{params: pl.params, r: rng.New(pl.seed + seedOffset), bounds: pl.bounds}
 }
 
+// EvaluatorAt returns an evaluator with the plan's normalized parameters
+// and shared decision table, seeded at exactly seed (not offset by the
+// plan's base seed). Violation analyzers attach to a compiled plan through
+// it, so explanation what-ifs reuse the table the check evaluation already
+// resolved instead of re-resolving it per analyzer.
+func (pl *CheckPlan) EvaluatorAt(seed uint64) *Evaluator {
+	return &Evaluator{params: pl.params, r: rng.New(seed), bounds: pl.bounds}
+}
+
 // checkSeries verifies the runtime inputs match the compiled arity.
 func (pl *CheckPlan) checkSeries(ss []series.Series) error {
 	if len(ss) != pl.check.Constraint.Arity {

@@ -177,6 +177,26 @@ func TestPlanNewEvaluatorMatchesNewEvaluator(t *testing.T) {
 	}
 }
 
+func TestEvaluatorAtAndDeriveMatchNewEvaluator(t *testing.T) {
+	ck := Check{Name: "gt", Constraint: GreaterThan(11), SeriesNames: []string{"s"}, Window: PointWindow{}}
+	params := Params{Credibility: 0.95, MaxSamples: 60}
+	pl, err := CompilePlan(ck, params, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := PointWindow{}.Windows([]series.Series{uncertainSeries(1)})[0]
+	want := MustEvaluator(params, 123).Evaluate(ck.Constraint, tuple)
+	if got := pl.EvaluatorAt(123).Evaluate(ck.Constraint, tuple); !reflect.DeepEqual(want, got) {
+		t.Error("plan.EvaluatorAt(seed) != NewEvaluator(params, seed)")
+	}
+	// Derive stamps out a pooled evaluator at an absolute seed, sharing
+	// the base evaluator's decision table.
+	base := MustEvaluator(params, 999)
+	if got := base.Derive(123).Evaluate(ck.Constraint, tuple); !reflect.DeepEqual(want, got) {
+		t.Error("evaluator.Derive(seed) != NewEvaluator(params, seed)")
+	}
+}
+
 func TestPlanRunParallelCancelled(t *testing.T) {
 	ss := []series.Series{uncertainSeries(200)}
 	ck := Check{Name: "gt", Constraint: GreaterThan(11), SeriesNames: []string{"s"}, Window: PointWindow{}}

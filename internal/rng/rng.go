@@ -44,6 +44,20 @@ func (r *Rand) Reseed(seed uint64) {
 	}
 }
 
+// Derive maps a base seed and a stream identifier to the seed of a
+// statistically independent stream, via one splitmix64 finalization round.
+// Unlike Split it is a pure function: callers that evaluate work units in
+// arbitrary order (parallel workers, retried units) get the same stream
+// for the same (base, stream) pair regardless of how many other units
+// were processed before. The violation analyzer keys its per-change-point
+// and per-window randomness on this.
+func Derive(base, stream uint64) uint64 {
+	z := base + (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Split returns a new generator whose stream is statistically independent
 // of the receiver's. It advances the receiver.
 func (r *Rand) Split() *Rand {

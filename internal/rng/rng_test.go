@@ -28,6 +28,36 @@ func TestSeedsDecorrelated(t *testing.T) {
 	}
 }
 
+func TestDerivePureAndDistinct(t *testing.T) {
+	// Pure: same (base, stream) → same seed, independent of call order.
+	if Derive(42, 7) != Derive(42, 7) {
+		t.Fatal("Derive is not a pure function")
+	}
+	// Distinct: nearby bases and streams map to decorrelated seeds, and
+	// the derived streams themselves do not collide.
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 10; base++ {
+		for stream := uint64(0); stream < 100; stream++ {
+			s := Derive(base, stream)
+			if seen[s] {
+				t.Fatalf("collision at base=%d stream=%d", base, stream)
+			}
+			seen[s] = true
+		}
+	}
+	// Streams derived from adjacent ids are decorrelated.
+	a, b := New(Derive(1, 0)), New(Derive(1, 1))
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent derived streams share %d outputs", same)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(7)
 	for i := 0; i < 100000; i++ {

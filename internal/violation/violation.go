@@ -111,11 +111,26 @@ func (r Report) Primary() Explanation {
 }
 
 // Analyzer assesses explanations at change points by counterfactual
-// re-evaluation with a core.Evaluator. It is not safe for concurrent use.
+// re-evaluation with a core.Evaluator. It is not safe for concurrent use,
+// but its reports are a pure function of (params, seed, change point):
+// before analyzing each input window the analyzer reseeds its evaluator
+// and downsampling RNG from a seed derived with rng.Derive from the base
+// seed and the change point's window indices. Explaining the same change
+// point twice, in any order, on any analyzer with the same (params, seed)
+// therefore yields bit-identical reports — the property the parallel
+// engine in parallel.go builds on.
 type Analyzer struct {
 	eval *core.Evaluator
 	r    *rng.Rand
+	// seed is the base seed all per-change-point streams derive from.
+	seed uint64
+	// scratch is the reusable window-tuple buffer for what-if evaluations.
+	scratch []series.Series
 }
+
+// downsampleSalt separates the Downsample RNG stream of a window from the
+// evaluator stream derived from the same seed.
+const downsampleSalt = 0x51ca1ab1e
 
 // NewAnalyzer returns an Analyzer evaluating what-if scenarios with the
 // given parameters and seed.
@@ -124,7 +139,15 @@ func NewAnalyzer(params core.Params, seed uint64) (*Analyzer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analyzer{eval: e, r: rng.New(seed ^ 0x51ca1ab1e)}, nil
+	return &Analyzer{eval: e, r: rng.New(seed ^ downsampleSalt), seed: seed}, nil
+}
+
+// NewAnalyzerForPlan returns an Analyzer whose evaluator shares the
+// compiled plan's normalized parameters and precomputed decision-boundary
+// table, instead of re-resolving them from the process-wide cache. Reports
+// are identical to NewAnalyzer(pl.Params(), seed).
+func NewAnalyzerForPlan(pl *core.CheckPlan, seed uint64) *Analyzer {
+	return &Analyzer{eval: pl.EvaluatorAt(seed), r: rng.New(seed ^ downsampleSalt), seed: seed}
 }
 
 // MustAnalyzer is NewAnalyzer panicking on invalid parameters.
@@ -136,6 +159,34 @@ func MustAnalyzer(params core.Params, seed uint64) *Analyzer {
 	return a
 }
 
+// Seed returns the base seed explanation streams derive from.
+func (a *Analyzer) Seed() uint64 { return a.seed }
+
+// derive returns a fresh analyzer with the same base seed, sharing the
+// evaluator's normalized params and decision table but none of its
+// mutable state. The parallel engine stamps out one per worker.
+func (a *Analyzer) derive() *Analyzer {
+	return &Analyzer{eval: a.eval.Derive(a.seed), r: rng.New(a.seed ^ downsampleSalt), seed: a.seed}
+}
+
+// windowSeed derives the seed of input window j of a change point: a pure
+// function of (base seed, change point, j), so the stream a window's
+// what-if evaluations consume does not depend on how many change points
+// or windows were explained before.
+func windowSeed(base uint64, cp ChangePoint, j int) uint64 {
+	s := rng.Derive(base, uint64(cp.Neg.Index))
+	s = rng.Derive(s, uint64(cp.Pos.Index))
+	return rng.Derive(s, uint64(j))
+}
+
+// reseedWindow resets the analyzer's random state to the derived stream
+// of input window j of the change point.
+func (a *Analyzer) reseedWindow(cp ChangePoint, j int) {
+	s := windowSeed(a.seed, cp, j)
+	a.eval.Reseed(s)
+	a.r.Reseed(s ^ downsampleSalt)
+}
+
 // Explain assesses the explanations E2–E6 for each of the k input
 // windows of the change point and falls back to E1 when none applies
 // (paper §V-B). The constraint must be the one the check evaluates.
@@ -143,36 +194,50 @@ func (a *Analyzer) Explain(c core.Constraint, cp ChangePoint) Report {
 	rep := Report{ChangePoint: cp}
 	k := len(cp.Neg.Windows)
 	rep.PerWindow = make([][]Explanation, k)
-	confirmed := map[Explanation]bool{}
 
 	// E6 concerns the whole check, not a single input window: the
 	// violated tuple is spurious if φ holds on every resampling block.
-	if c.Orderedness.Ordered() && a.checkE6(c, cp.Neg) {
-		confirmed[E6ResamplingFalsePositive] = true
-	}
-
+	e6 := c.Orderedness.Ordered() && a.checkE6(c, cp.Neg)
 	for j := 0; j < k; j++ {
-		wPos, wNeg := cp.Pos.Windows[j], cp.Neg.Windows[j]
-		var ws []Explanation
-		if a.checkE2(c, cp, j, wPos, wNeg) {
-			ws = append(ws, E2HighSparsity)
-		}
-		if a.checkE3(c, cp, j, wPos, wNeg) {
-			ws = append(ws, E3LowSparsity)
-		}
-		if a.checkE4(c, cp, j, wPos, wNeg) {
-			ws = append(ws, E4HighUncertainty)
-		}
-		if a.checkE5(c, cp, j, wPos, wNeg) {
-			ws = append(ws, E5LowUncertainty)
-		}
-		rep.PerWindow[j] = ws
+		rep.PerWindow[j] = a.explainWindow(c, cp, j)
+	}
+	return assembleReport(rep, e6)
+}
+
+// explainWindow assesses E2–E5 for input window j of the change point
+// under the window's derived random stream.
+func (a *Analyzer) explainWindow(c core.Constraint, cp ChangePoint, j int) []Explanation {
+	a.reseedWindow(cp, j)
+	wPos, wNeg := cp.Pos.Windows[j], cp.Neg.Windows[j]
+	var ws []Explanation
+	if a.checkE2(c, cp, j, wPos, wNeg) {
+		ws = append(ws, E2HighSparsity)
+	}
+	if a.checkE3(c, cp, j, wPos, wNeg) {
+		ws = append(ws, E3LowSparsity)
+	}
+	if a.checkE4(c, cp, j, wPos, wNeg) {
+		ws = append(ws, E4HighUncertainty)
+	}
+	if a.checkE5(c, cp, j, wPos, wNeg) {
+		ws = append(ws, E5LowUncertainty)
+	}
+	return ws
+}
+
+// assembleReport fills a report's Explanations from its PerWindow slices
+// and the E6 verdict, applying Eq. 1's E1 fallback. The aggregation is
+// shared by the sequential and parallel paths so their reports cannot
+// diverge.
+func assembleReport(rep Report, e6 bool) Report {
+	var confirmed [7]bool
+	confirmed[E6ResamplingFalsePositive] = e6
+	for _, ws := range rep.PerWindow {
 		for _, e := range ws {
 			confirmed[e] = true
 		}
 	}
-
-	for _, e := range []Explanation{E2HighSparsity, E3LowSparsity, E4HighUncertainty, E5LowUncertainty, E6ResamplingFalsePositive} {
+	for e := E2HighSparsity; e <= E6ResamplingFalsePositive; e++ {
 		if confirmed[e] {
 			rep.Explanations = append(rep.Explanations, e)
 		}
@@ -184,8 +249,15 @@ func (a *Analyzer) Explain(c core.Constraint, cp ChangePoint) Report {
 }
 
 // evalWith re-runs γ on the violated window tuple with input j replaced.
+// The tuple buffer is reused across calls; Evaluate copies window data
+// into the resampler's own buffers and the Result is discarded, so no
+// reference survives the call.
 func (a *Analyzer) evalWith(c core.Constraint, cp ChangePoint, j int, replacement series.Series) core.Outcome {
-	ws := make([]series.Series, len(cp.Neg.Windows))
+	k := len(cp.Neg.Windows)
+	if cap(a.scratch) < k {
+		a.scratch = make([]series.Series, k)
+	}
+	ws := a.scratch[:k]
 	copy(ws, cp.Neg.Windows)
 	ws[j] = replacement
 	tuple := core.WindowTuple{Windows: ws, Start: cp.Neg.Start, End: cp.Neg.End, Index: cp.Neg.Index}
@@ -281,21 +353,38 @@ func E6Holds(c core.Constraint, neg core.WindowTuple) bool {
 	if k == 0 {
 		return false
 	}
-	blockSets := make([][]series.Series, k)
-	nBlocks := -1
-	for j, w := range neg.Windows {
-		blockSets[j] = resample.Blocks(w)
-		if nBlocks == -1 || len(blockSets[j]) < nBlocks {
-			nBlocks = len(blockSets[j])
+	// An empty input window has no blocks, so the ∀-condition is vacuous
+	// at best: bail out before allocating any per-window state.
+	for _, w := range neg.Windows {
+		if len(w) == 0 {
+			return false
 		}
 	}
-	if nBlocks <= 0 {
-		return false
+	// Extract each window's values once and slice the per-block views out
+	// of them, mirroring resample.Blocks (contiguous [i, i+b) blocks of
+	// size BlockSize): the per-block loop below is then allocation-free
+	// instead of allocating a fresh []float64 per block per window.
+	vals := make([][]float64, k)
+	wvals := make([][]float64, k)
+	bsize := make([]int, k)
+	nBlocks := -1
+	for j, w := range neg.Windows {
+		wvals[j] = w.Values()
+		bsize[j] = resample.BlockSize(len(w))
+		// Aligned evaluation truncates to the input with the fewest
+		// blocks, exactly as the Blocks-based loop did.
+		if nb := (len(w) + bsize[j] - 1) / bsize[j]; nBlocks == -1 || nb < nBlocks {
+			nBlocks = nb
+		}
 	}
 	for b := 0; b < nBlocks; b++ {
-		vals := make([][]float64, k)
 		for j := 0; j < k; j++ {
-			vals[j] = blockSets[j][b].Values()
+			start := b * bsize[j]
+			end := start + bsize[j]
+			if end > len(wvals[j]) {
+				end = len(wvals[j])
+			}
+			vals[j] = wvals[j][start:end]
 		}
 		if !c.Eval(vals) {
 			return false

@@ -1,9 +1,11 @@
 package violation
 
 import (
+	"reflect"
 	"testing"
 
 	"sound/internal/core"
+	"sound/internal/resample"
 	"sound/internal/rng"
 	"sound/internal/series"
 )
@@ -192,6 +194,141 @@ func TestExplainFallsBackToE1(t *testing.T) {
 	}
 	if rep.Primary() != E1ValueChange {
 		t.Error("primary should be E1")
+	}
+}
+
+// TestExplainOrderIndependence: reports are a pure function of
+// (params, seed, change point). Explaining the same change point twice,
+// or a set of change points in a different order, yields identical
+// reports — the shared RNG stream no longer couples them.
+func TestExplainOrderIndependence(t *testing.T) {
+	c := core.GreaterThan(10)
+	c.Granularity = core.WindowTime
+	// Windows chosen so E2 (sparser violated window) and E4 (higher
+	// uncertainty) both consume randomness in their what-ifs.
+	cpA := cpFor(denseWindow(40, 12, 0.5), denseWindow(9, 10.2, 4))
+	cpB := ChangePoint{
+		Index: 3,
+		Pos:   core.WindowTuple{Windows: []series.Series{denseWindow(30, 13, 0.2)}, Start: 2, End: 3, Index: 2},
+		Neg:   core.WindowTuple{Windows: []series.Series{denseWindow(11, 10.1, 5)}, Start: 3, End: 4, Index: 3},
+	}
+	params := core.Params{Credibility: 0.9, MaxSamples: 200}
+	a := MustAnalyzer(params, 7)
+
+	repA1 := a.Explain(c, cpA)
+	repB1 := a.Explain(c, cpB)
+	// Same analyzer, same change point again: must match despite the
+	// draws consumed in between.
+	if got := a.Explain(c, cpA); !reflect.DeepEqual(repA1, got) {
+		t.Error("re-explaining the same change point changed the report")
+	}
+	// Fresh analyzer, reversed order: every report must still match.
+	b := MustAnalyzer(params, 7)
+	repB2 := b.Explain(c, cpB)
+	repA2 := b.Explain(c, cpA)
+	if !reflect.DeepEqual(repA1, repA2) {
+		t.Error("explanation of cpA depends on processing order")
+	}
+	if !reflect.DeepEqual(repB1, repB2) {
+		t.Error("explanation of cpB depends on processing order")
+	}
+}
+
+// e6ViaBlocks is the pre-optimization reference implementation of
+// E6Holds, evaluating resample.Blocks slices directly.
+func e6ViaBlocks(c core.Constraint, neg core.WindowTuple) bool {
+	k := len(neg.Windows)
+	if k == 0 {
+		return false
+	}
+	blockSets := make([][]series.Series, k)
+	nBlocks := -1
+	for j, w := range neg.Windows {
+		blockSets[j] = resample.Blocks(w)
+		if nBlocks == -1 || len(blockSets[j]) < nBlocks {
+			nBlocks = len(blockSets[j])
+		}
+	}
+	if nBlocks <= 0 {
+		return false
+	}
+	for b := 0; b < nBlocks; b++ {
+		vals := make([][]float64, k)
+		for j := 0; j < k; j++ {
+			vals[j] = blockSets[j][b].Values()
+		}
+		if !c.Eval(vals) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestE6HoldsDifferentBlockCounts pins the nBlocks min-logic: inputs of
+// different lengths have different block counts, and aligned evaluation
+// truncates to the shortest. Verified against the Blocks-based reference
+// for both verdicts.
+func TestE6HoldsDifferentBlockCounts(t *testing.T) {
+	// Count-comparison constraint as an ordered check so E6 applies.
+	c := core.Constraint{
+		Name: "first-longer", Granularity: core.WindowTime,
+		Orderedness: core.SequenceIndex, Arity: 2,
+		Fn: func(vals [][]float64) bool { return len(vals[0]) >= len(vals[1]) },
+	}
+	long := denseWindow(25, 1, 0) // block size 5 → 5 blocks
+	short := denseWindow(7, 1, 0) // block size 3 → 3 blocks
+	tuple := func(a, b series.Series) core.WindowTuple {
+		return core.WindowTuple{Windows: []series.Series{a, b}}
+	}
+	holds := tuple(long, short) // blocks of 5 vs 3 → constraint true per block
+	fails := tuple(short, long) // blocks of 3 vs 5 → constraint false
+	for _, tc := range []struct {
+		name string
+		w    core.WindowTuple
+		want bool
+	}{
+		{"long-vs-short", holds, true},
+		{"short-vs-long", fails, false},
+	} {
+		if got := E6Holds(c, tc.w); got != tc.want {
+			t.Errorf("%s: E6Holds = %v, want %v", tc.name, got, tc.want)
+		}
+		if got, ref := E6Holds(c, tc.w), e6ViaBlocks(c, tc.w); got != ref {
+			t.Errorf("%s: E6Holds = %v diverges from Blocks reference %v", tc.name, got, ref)
+		}
+	}
+	// Block alignment parity on same-verdict monotone data too.
+	mono := tuple(series.FromValues(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11), series.FromValues(1, 2, 3))
+	cm := core.MonotonicIncrease(true)
+	cm.Arity = 2
+	cm.Fn = func(vals [][]float64) bool {
+		for _, vs := range vals {
+			for i := 1; i < len(vs); i++ {
+				if vs[i] <= vs[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if got, ref := E6Holds(cm, mono), e6ViaBlocks(cm, mono); got != ref {
+		t.Errorf("monotone tuple: E6Holds = %v, reference %v", got, ref)
+	}
+}
+
+// TestE6HoldsDegenerateWindows: no inputs, or any empty input, can never
+// satisfy the ∀-blocks condition.
+func TestE6HoldsDegenerateWindows(t *testing.T) {
+	c := core.MonotonicIncrease(true)
+	if E6Holds(c, core.WindowTuple{}) {
+		t.Error("E6 held for a tuple with no windows")
+	}
+	withEmpty := core.WindowTuple{Windows: []series.Series{series.FromValues(1, 2, 3), {}}}
+	cc := c
+	cc.Arity = 2
+	cc.Fn = func(vals [][]float64) bool { return true }
+	if E6Holds(cc, withEmpty) {
+		t.Error("E6 held for a tuple with an empty window")
 	}
 }
 

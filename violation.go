@@ -1,6 +1,8 @@
 package sound
 
 import (
+	"context"
+
 	"sound/internal/checker"
 	"sound/internal/violation"
 )
@@ -53,8 +55,25 @@ type Report = violation.Report
 type Analyzer = violation.Analyzer
 
 // NewAnalyzer returns an Analyzer with the given evaluation parameters.
+// Its reports are a pure function of (params, seed, change point):
+// explaining change points in any order yields identical reports.
 func NewAnalyzer(params Params, seed uint64) (*Analyzer, error) {
 	return violation.NewAnalyzer(params, seed)
+}
+
+// NewAnalyzerForPlan returns an Analyzer sharing a compiled plan's
+// normalized parameters and precomputed decision table; reports match
+// NewAnalyzer(pl.Params(), seed).
+func NewAnalyzerForPlan(pl *CheckPlan, seed uint64) *Analyzer {
+	return violation.NewAnalyzerForPlan(pl, seed)
+}
+
+// ExplainAll explains every change point with up to workers goroutines
+// (0 = GOMAXPROCS) using pooled analyzers. Reports are bit-identical to
+// a sequential Explain pass with an analyzer built from the same
+// (params, seed), for every worker count.
+func ExplainAll(ctx context.Context, c Constraint, cps []ChangePoint, params Params, seed uint64, workers int) ([]Report, error) {
+	return violation.ExplainAll(ctx, c, cps, params, seed, workers)
 }
 
 // ChangeConstraint is the data-change test φ²_change of paper §V-C.
@@ -86,6 +105,14 @@ type Summary = violation.Summary
 // points of a result sequence.
 func Summarize(ck Check, results []Result, a *Analyzer, p *Pipeline, credibility float64) *Summary {
 	return violation.Summarize(ck, results, a, p, credibility)
+}
+
+// SummarizeParallel is Summarize with the explanation phase fanned out
+// over up to workers goroutines (0 = GOMAXPROCS). The summary is
+// bit-identical to the sequential Summarize for any worker count; a
+// cancelled context aborts the analysis with ctx.Err().
+func SummarizeParallel(ctx context.Context, ck Check, results []Result, a *Analyzer, p *Pipeline, credibility float64, workers int) (*Summary, error) {
+	return violation.SummarizeParallel(ctx, ck, results, a, p, credibility, workers)
 }
 
 // UpstreamAnalysis implements paper Alg. 2: annotation of the pipeline
