@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchjson
+.PHONY: all build vet test race check bench bench-smoke benchjson
 
 all: check
 
@@ -16,14 +16,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: compile everything, vet, and run the full test
-# suite under the race detector (the shared decision-table cache and the
-# pooled parallel evaluators are concurrency-sensitive).
-check: build vet race
+# check is the CI gate: compile everything, vet, run the full test suite
+# under the race detector (the shared decision-table cache and the
+# pooled parallel evaluators are concurrency-sensitive), and smoke-run
+# every benchmark body so a broken workload fails the gate, not the next
+# perf investigation.
+check: build vet race bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+# bench-smoke executes each hot-path/ablation benchmark body a fixed
+# handful of times — correctness of the workloads, not timing.
+bench-smoke:
+	$(GO) test -bench='Evaluate|Draw|Kernel|Ablation|StreamCheck|Explain|Summarize' -benchtime=10x -run=^$$ .
+
 # benchjson regenerates the machine-readable hot-path benchmark record.
 benchjson:
-	$(GO) run ./cmd/soundbench -benchjson BENCH_PR3.json
+	$(GO) run ./cmd/soundbench -benchjson BENCH_PR4.json

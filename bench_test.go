@@ -16,6 +16,7 @@ import (
 	"sound"
 	"sound/internal/bench"
 	"sound/internal/experiments"
+	"sound/internal/resample"
 )
 
 func benchExperiment(b *testing.B, name string) {
@@ -98,6 +99,11 @@ func BenchmarkEvaluatePointCheck(b *testing.B) { bench.EvaluatePointCheck(b) }
 // (block bootstrap + correlation) on a 64-point binary window.
 func BenchmarkEvaluateSequenceCheck(b *testing.B) { bench.EvaluateSequenceCheck(b) }
 
+// BenchmarkEvaluateAllParallel measures the pooled-evaluator parallel
+// path over 500 uncertain point windows (allocs/op tracks the
+// O(workers) pooling claim and the shared-extraction window pass).
+func BenchmarkEvaluateAllParallel(b *testing.B) { bench.EvaluateAllParallel(b) }
+
 // BenchmarkStreamCheck measures the generic online stream-check
 // operator's per-event overhead across window kinds.
 func BenchmarkStreamCheck(b *testing.B) {
@@ -120,4 +126,26 @@ func BenchmarkExplain(b *testing.B) {
 func BenchmarkSummarize(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) { bench.Summarize(b, 0) })
 	b.Run("parallel", func(b *testing.B) { bench.Summarize(b, runtime.GOMAXPROCS(0)) })
+}
+
+// BenchmarkDraw isolates one resampling iteration over a 64-point
+// mixed-class window: the scalar PerturbValue path against the compiled
+// SoA kernel path, per strategy. The pairs draw bit-identical values;
+// the ratio is what plan compilation buys per draw.
+func BenchmarkDraw(b *testing.B) {
+	b.Run("point/scalar", func(b *testing.B) { bench.Draw(b, resample.Point, false) })
+	b.Run("point/kernel", func(b *testing.B) { bench.Draw(b, resample.Point, true) })
+	b.Run("set/scalar", func(b *testing.B) { bench.Draw(b, resample.Set, false) })
+	b.Run("set/kernel", func(b *testing.B) { bench.Draw(b, resample.Set, true) })
+	b.Run("sequence/scalar", func(b *testing.B) { bench.Draw(b, resample.Sequence, false) })
+	b.Run("sequence/kernel", func(b *testing.B) { bench.Draw(b, resample.Sequence, true) })
+}
+
+// BenchmarkKernel measures the per-class batched kernels on single-class
+// 64-point windows: the certain copy, the symmetric single-normal loop,
+// and the asymmetric branch-coin loop.
+func BenchmarkKernel(b *testing.B) {
+	b.Run("certain", func(b *testing.B) { bench.Kernel(b, 0, 0) })
+	b.Run("symmetric", func(b *testing.B) { bench.Kernel(b, 2, 2) })
+	b.Run("asymmetric", func(b *testing.B) { bench.Kernel(b, 3, 1) })
 }

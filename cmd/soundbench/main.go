@@ -45,9 +45,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list        = fs.Bool("list", false, "list available experiments and exit")
 		benchjson   = fs.String("benchjson", "", "run the Evaluate*/Ablation* micro-benchmarks and write results as JSON to this file ('-' for stdout)")
 		benchfilter = fs.String("benchfilter", "", "only run benchmarks whose name contains this substring (with -benchjson)")
+		cpu         = fs.Int("cpu", 0, "set GOMAXPROCS before running benchmarks (0 = leave as is); recorded per spec in the JSON output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+	if *cpu > 0 {
+		runtime.GOMAXPROCS(*cpu)
 	}
 
 	if *list {
@@ -85,6 +89,7 @@ type benchRecord struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
@@ -121,6 +126,7 @@ func runBenchJSON(path, filter string, stdout, stderr io.Writer) int {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 		}
 		if len(r.Extra) > 0 {
 			rec.Extra = make(map[string]float64, len(r.Extra))

@@ -74,3 +74,30 @@ func TestBadFlag(t *testing.T) {
 		t.Errorf("exit = %d", code)
 	}
 }
+
+func TestBenchJSONCPUFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-benchjson", "-", "-benchfilter", "Kernel/certain", "-cpu", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	var report struct {
+		GoMaxProcs int `json:"gomaxprocs"`
+		Benchmarks []struct {
+			Name       string `json:"name"`
+			GoMaxProcs int    `json:"gomaxprocs"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(report.Benchmarks) != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if b := report.Benchmarks[0]; b.GoMaxProcs != 1 {
+		t.Errorf("per-spec gomaxprocs = %d, want 1 (-cpu 1)", b.GoMaxProcs)
+	}
+}

@@ -13,6 +13,9 @@ import (
 	"sound"
 	"sound/internal/checker"
 	"sound/internal/core"
+	"sound/internal/resample"
+	"sound/internal/rng"
+	"sound/internal/series"
 	"sound/internal/stream"
 )
 
@@ -41,6 +44,15 @@ func Specs() []Spec {
 		{"StreamCheck/tumbling", func(b *testing.B) { StreamCheck(b, sound.TimeWindow{Size: 60}) }},
 		{"StreamCheck/sliding", func(b *testing.B) { StreamCheck(b, sound.TimeWindow{Size: 60, Slide: 30}) }},
 		{"StreamCheck/count", func(b *testing.B) { StreamCheck(b, sound.CountWindow{Size: 32}) }},
+		{"Draw/point/scalar", func(b *testing.B) { Draw(b, resample.Point, false) }},
+		{"Draw/point/kernel", func(b *testing.B) { Draw(b, resample.Point, true) }},
+		{"Draw/set/scalar", func(b *testing.B) { Draw(b, resample.Set, false) }},
+		{"Draw/set/kernel", func(b *testing.B) { Draw(b, resample.Set, true) }},
+		{"Draw/sequence/scalar", func(b *testing.B) { Draw(b, resample.Sequence, false) }},
+		{"Draw/sequence/kernel", func(b *testing.B) { Draw(b, resample.Sequence, true) }},
+		{"Kernel/certain", func(b *testing.B) { Kernel(b, 0, 0) }},
+		{"Kernel/symmetric", func(b *testing.B) { Kernel(b, 2, 2) }},
+		{"Kernel/asymmetric", func(b *testing.B) { Kernel(b, 3, 1) }},
 		{"Explain/unary", func(b *testing.B) { Explain(b, 1) }},
 		{"Explain/binary", func(b *testing.B) { Explain(b, 2) }},
 		{"Summarize/sequential", func(b *testing.B) { Summarize(b, 0) }},
@@ -104,6 +116,63 @@ func EvaluateAllParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// mixedDrawWindow builds a 64-point window with all three point classes
+// in runs of eight — the shape quality flags take in practice, where
+// sensor quality degrades and recovers in stretches rather than
+// alternating point by point.
+func mixedDrawWindow() series.Series {
+	w := make(series.Series, 64)
+	for i := range w {
+		w[i] = series.Point{T: float64(i), V: float64(i % 17)}
+		switch (i / 8) % 3 {
+		case 1:
+			w[i].SigUp, w[i].SigDown = 2, 2
+		case 2:
+			w[i].SigUp, w[i].SigDown = 3, 1
+		}
+	}
+	return w
+}
+
+// Draw isolates one resampling iteration over a 64-point mixed-class
+// window: the scalar per-point PerturbValue path (unprimed) against the
+// compiled SoA kernel path (primed). The two draw bit-identical values
+// (pinned by the resample parity tests); the spec pair measures what the
+// compilation buys per draw.
+func Draw(b *testing.B, strat resample.Strategy, kernel bool) {
+	windows := []series.Series{mixedDrawWindow()}
+	rs := resample.New(strat, rng.New(1))
+	if kernel {
+		rs.Prime(windows)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rs.Draw(windows)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(windows[0])), "ns/point")
+}
+
+// Kernel measures one primed point-strategy draw over a 64-point window
+// of a single class (σ↑, σ↓) — the per-class kernels the run dispatch
+// lands on: the certain memcpy, the symmetric single-normal loop, or the
+// asymmetric branch-coin loop.
+func Kernel(b *testing.B, sigUp, sigDown float64) {
+	w := make(series.Series, 64)
+	for i := range w {
+		w[i] = series.Point{T: float64(i), V: float64(i), SigUp: sigUp, SigDown: sigDown}
+	}
+	windows := []series.Series{w}
+	rs := resample.New(resample.Point, rng.New(1))
+	rs.Prime(windows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rs.Draw(windows)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(w)), "ns/point")
 }
 
 // StreamCheck measures the generic online stream-check operator on a

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"sound/internal/core"
+	"sound/internal/resample"
 	"sound/internal/series"
 	"sound/internal/stream"
 )
@@ -227,6 +228,18 @@ type streamChecker struct {
 	// Reusable scratch keeps the per-event hot path allocation-free.
 	pointBuf series.Series
 	winBuf   [1]series.Series
+	// viewBuf is the per-fire view scratch handed to the evaluator; views
+	// are consumed within the evaluation call (the evaluator strips them
+	// from its Result), so one buffer serves every fire.
+	viewBuf []resample.View
+}
+
+// views returns the k-slot view scratch.
+func (c *streamChecker) views(k int) []resample.View {
+	if cap(c.viewBuf) < k {
+		c.viewBuf = make([]resample.View, k)
+	}
+	return c.viewBuf[:k]
 }
 
 // groupState is the window state of one route group (one key, or the
@@ -259,6 +272,14 @@ type groupState struct {
 	nextIdx int
 	// pend queues points per input for point-wise alignment (arity > 1).
 	pend []series.Series
+	// ext mirrors the window buffers (raw for time windows, bufs for
+	// count windows) as SoA extractions, kept in sync incrementally:
+	// in-order appends extend them, a fire-time reorder rebuilds, and the
+	// post-fire copy-down trims. Overlapping windows of one group then
+	// prime the evaluator's resampling kernels through views into one
+	// shared extraction instead of re-extracting every window. Unused
+	// (nil) under naive evaluation.
+	ext []resample.Extraction
 	// session bounds.
 	sessStart, sessPrev float64
 	sessOpen            bool
@@ -391,8 +412,23 @@ func (c *streamChecker) fireDueTimeWindows(g *groupState, final bool) {
 	if !g.hasOrigin || c.asg.Size <= 0 || c.asg.Slide <= 0 {
 		return
 	}
+	useExt := !c.naive
+	if useExt && g.ext == nil {
+		g.ext = make([]resample.Extraction, c.arity)
+	}
 	for i := range g.raw {
-		sortByTime(g.raw[i])
+		reordered := sortByTime(g.raw[i])
+		if !useExt {
+			continue
+		}
+		// Keep the shared extraction in sync with the buffer: a reorder
+		// invalidates the extracted prefix (rebuild), in-order appends
+		// only add new points (extend).
+		if reordered {
+			g.ext[i].Extract(g.raw[i])
+		} else {
+			g.ext[i].ExtendFrom(g.raw[i])
+		}
 	}
 	for {
 		start, end := g.nextStart, g.nextStart+c.asg.Size
@@ -404,10 +440,20 @@ func (c *streamChecker) fireDueTimeWindows(g *groupState, final bool) {
 			return
 		}
 		ws := make([]series.Series, c.arity)
+		var ext []resample.View
+		if useExt {
+			ext = c.views(c.arity)
+		}
 		for i := range g.raw {
 			ws[i] = g.raw[i].SliceTime(start, end)
+			if useExt {
+				// series.At is the same lower bound SliceTime just used,
+				// so the view covers exactly the window's points.
+				lo := g.raw[i].At(start)
+				ext[i] = g.ext[i].Slice(lo, lo+len(ws[i]))
+			}
 		}
-		c.evaluate(core.WindowTuple{Windows: ws, Start: start, End: end})
+		c.evaluate(core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end})
 		g.fired = true
 		g.nextStart += c.asg.Slide
 		for i := range g.raw {
@@ -420,6 +466,9 @@ func (c *streamChecker) fireDueTimeWindows(g *groupState, final bool) {
 				next := make(series.Series, len(rest), len(rest)+n)
 				copy(next, rest)
 				g.raw[i] = next
+				if useExt {
+					g.ext[i].TrimFront(n)
+				}
 			}
 		}
 	}
@@ -447,6 +496,16 @@ func (c *streamChecker) processCount(key string, input int, p series.Point) {
 		return
 	}
 	bufs[input] = append(bufs[input], p)
+	useExt := !c.naive
+	if useExt {
+		// Count windows never reorder (arrival order is the index), so the
+		// shared extraction extends one point at a time, in lockstep with
+		// the buffer.
+		if g.ext == nil {
+			g.ext = make([]resample.Extraction, c.arity)
+		}
+		g.ext[input].AppendPoint(p)
+	}
 	for {
 		for i := range bufs {
 			if g.drop[i]+len(bufs[i]) < g.nextIdx+c.asg.Count {
@@ -454,12 +513,19 @@ func (c *streamChecker) processCount(key string, input int, p series.Point) {
 			}
 		}
 		ws := make([]series.Series, c.arity)
+		var ext []resample.View
+		if useExt {
+			ext = c.views(c.arity)
+		}
 		for i := range bufs {
 			off := g.nextIdx - g.drop[i]
 			ws[i] = bufs[i][off : off+c.asg.Count : off+c.asg.Count]
+			if useExt {
+				ext[i] = g.ext[i].Slice(off, off+c.asg.Count)
+			}
 		}
 		start, end := ws[0][0].T, ws[0][len(ws[0])-1].T
-		c.evaluate(core.WindowTuple{Windows: ws, Start: start, End: end})
+		c.evaluate(core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end})
 		g.nextIdx += c.asg.CountSlide
 		for i := range bufs {
 			n := g.nextIdx - g.drop[i]
@@ -474,6 +540,9 @@ func (c *streamChecker) processCount(key string, input int, p series.Point) {
 			copy(next, rest)
 			bufs[i] = next
 			g.drop[i] += n
+			if useExt {
+				g.ext[i].TrimFront(n)
+			}
 		}
 	}
 }
@@ -554,15 +623,17 @@ func (c *streamChecker) evaluate(tuple core.WindowTuple) {
 	}
 }
 
-// sortByTime time-orders a window buffer in place; the common in-order
-// case is detected with a linear scan and left untouched.
-func sortByTime(s series.Series) {
+// sortByTime time-orders a window buffer in place, reporting whether it
+// had to reorder; the common in-order case is detected with a linear
+// scan and left untouched.
+func sortByTime(s series.Series) bool {
 	for i := 1; i < len(s); i++ {
 		if s[i].T < s[i-1].T {
 			sort.SliceStable(s, func(a, b int) bool { return s[a].T < s[b].T })
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // span returns the union time span of the buffers.

@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -458,5 +459,134 @@ func TestCompareOutcomesLengthMismatch(t *testing.T) {
 	}
 	if _, err := Confuse(sound, naive); err == nil {
 		t.Error("Confuse accepted mismatched lengths")
+	}
+}
+
+// opaqueWindow hides the concrete window type so ClassifyWindow reports
+// KindCustom: batch execution then skips the shared-extraction attach and
+// every window is extracted on its own. It is the per-window reference
+// the shared-view paths must match bit for bit.
+type opaqueWindow struct{ core.Windower }
+
+// TestBatchStreamParitySlidingSharedExtraction pins the tentpole
+// invariant end to end on overlapping windows with gaps: the stream
+// checker's incrementally-maintained shared extraction, the batch
+// EvaluateAll shared extraction, and the per-window extraction fallback
+// all consume the RNG identically, so with equal evaluator seeds the
+// outcomes are bit-identical — on *borderline* data, where any skew in
+// consumed randomness would desynchronize every later window. Gaps in
+// the series force empty grid windows (which must draw nothing), and a
+// re-run with out-of-order arrivals exercises the stream's
+// Extract-rebuild resync path.
+func TestBatchStreamParitySlidingSharedExtraction(t *testing.T) {
+	const seed = 424242
+	params := core.DefaultParams()
+
+	// Borderline workload around the upper Range bound, mixing all three
+	// point classes, with two silences long enough to leave whole grid
+	// slots empty.
+	var s series.Series
+	for i := 0; i < 120; i++ {
+		if (i >= 30 && i < 50) || (i >= 80 && i < 87) {
+			continue
+		}
+		// Oscillate between clearly-safe troughs and borderline peaks;
+		// occasional certain spikes force clear violations.
+		p := series.Point{T: float64(i), V: 85 + 12*math.Sin(float64(i)/5)}
+		switch i % 3 {
+		case 1:
+			p.SigUp, p.SigDown = 2, 2 // symmetric
+		case 2:
+			p.SigUp, p.SigDown = 3, 1 // asymmetric
+		}
+		if i == 20 || i == 55 || i == 110 {
+			p = series.Point{T: float64(i), V: 150}
+		}
+		s = append(s, p)
+	}
+	ss := []series.Series{s}
+	inOrder := make([]stream.Event, len(s))
+	for i, p := range s {
+		inOrder[i] = stream.Event{Time: p.T, Key: "k", Value: p.V, SigUp: p.SigUp, SigDown: p.SigDown}
+	}
+	// Shuffled delivery: swap a few adjacent pairs well above the fired
+	// horizon so windows see out-of-order arrivals and the stream falls
+	// back to a full extraction rebuild.
+	shuffled := append([]stream.Event(nil), inOrder...)
+	for _, i := range []int{10, 25, 60, 90} {
+		shuffled[i], shuffled[i+1] = shuffled[i+1], shuffled[i]
+	}
+
+	for _, win := range []core.Windower{
+		core.TimeWindow{Size: 12, Slide: 5},
+		core.CountWindow{Size: 8, Slide: 3},
+	} {
+		ck := core.Check{
+			Name:        "range",
+			Constraint:  core.Range(0, 100),
+			SeriesNames: []string{"s"},
+			Window:      win,
+		}
+		pl, err := core.CompilePlan(ck, params, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Batch reference #1: shared-extraction EvaluateAll, seeded like
+		// the first stream worker (workerSeq starts at 1).
+		shared := pl.NewEvaluator(0x9e3779b9).EvaluateAll(ck.Constraint, win, ss)
+		// Batch reference #2: per-window extraction via an opaque windower.
+		perWindow := pl.NewEvaluator(0x9e3779b9).EvaluateAll(ck.Constraint, opaqueWindow{win}, ss)
+		if len(shared) != len(perWindow) {
+			t.Fatalf("%T: shared %d windows, per-window %d", win, len(shared), len(perWindow))
+		}
+		var want OutcomeCounts
+		for i := range shared {
+			a, b := shared[i], perWindow[i]
+			if a.Outcome != b.Outcome || a.Samples != b.Samples ||
+				a.SatisfiedCount != b.SatisfiedCount || a.ViolationProb != b.ViolationProb {
+				t.Fatalf("%T window %d: shared extraction %+v != per-window extraction %+v",
+					win, i, a, b)
+			}
+			switch a.Outcome {
+			case core.Satisfied:
+				want.Satisfied++
+			case core.Violated:
+				want.Violated++
+			default:
+				want.Inconclusive++
+			}
+		}
+		if _, isTime := win.(core.TimeWindow); isTime && want.Inconclusive == 0 {
+			t.Fatalf("%T: gaps produced no empty windows, test is vacuous", win)
+		}
+		if want.Satisfied == 0 || want.Violated == 0 {
+			t.Fatalf("%T: workload not borderline (counts %+v), test is vacuous", win, want)
+		}
+
+		// Stream: drive a single checker instance directly so its
+		// evaluator seed matches the batch references, in-order and — for
+		// time windows — with out-of-order arrivals. (Count windows buffer
+		// in arrival order by design, so only in-order delivery matches
+		// the time-sorted batch series.)
+		deliveries := map[string][]stream.Event{"in-order": inOrder}
+		if _, isTime := win.(core.TimeWindow); isTime {
+			deliveries["shuffled"] = shuffled
+		}
+		for name, events := range deliveries {
+			out := &StreamOutcomes{}
+			factory, err := NewStreamChecker(StreamCheck{Check: ck, Params: params, Seed: seed, Out: out})
+			if err != nil {
+				t.Fatal(err)
+			}
+			proc := factory()
+			for _, ev := range events {
+				proc.Process(ev, func(stream.Event) {})
+			}
+			proc.Flush(func(stream.Event) {})
+			if got := out.Counts(); got != want {
+				t.Errorf("%T %s: stream counts %+v != batch counts %+v", win, name, got, want)
+			}
+		}
 	}
 }

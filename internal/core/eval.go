@@ -114,6 +114,9 @@ type Evaluator struct {
 	// posterior depends only on (satisfied, violated), and point checks
 	// revisit the same counts for every window.
 	ciCache map[uint64][2]float64
+	// extc holds the shared per-series extractions EvaluateAll attaches
+	// to its window tuples, reused across calls.
+	extc extCache
 }
 
 // NewEvaluator returns an Evaluator with the given parameters and seed.
@@ -173,36 +176,61 @@ func (e *Evaluator) Derive(seed uint64) *Evaluator {
 // A window tuple with no data points at all cannot provide evidence and
 // yields ⊣ with zero samples.
 func (e *Evaluator) Evaluate(c Constraint, w WindowTuple) Result {
-	res := Result{Window: w}
+	var res Result
+	e.evaluateInto(&res, c, w)
+	return res
+}
+
+// evaluateInto runs Evaluate writing into a zeroed *res, so the batch
+// loops fill their result slices in place instead of copying the full
+// Result struct (which embeds the window tuple) per window. The tuple is
+// copied field by field: w.Ext aliases caller-scoped scratch that is only
+// valid during this call, so the Result must not carry it into longer-
+// lived hands (violation analysis retains Result windows) — and skipping
+// it also skips one write barrier per window.
+func (e *Evaluator) evaluateInto(res *Result, c Constraint, w WindowTuple) {
+	res.Window.Windows = w.Windows
+	res.Window.Start = w.Start
+	res.Window.End = w.End
+	res.Window.Index = w.Index
 	if empty(w.Windows) {
 		res.ViolationProb = 0.5
 		res.Lower, res.Upper = e.bounds.priorLower, e.bounds.priorUpper
-		return res
+		return
 	}
-	rs := e.resampler(c.Strategy())
-	rs.Prime(w.Windows)
+	strat := c.Strategy()
+	rs := e.resampler(strat)
+	if w.Ext != nil {
+		rs.PrimeViews(w.Windows, w.Ext)
+	} else {
+		rs.Prime(w.Windows)
+	}
 
 	// The decision rule of Alg. 1 runs on the precomputed boundary table:
 	// two integer comparisons per check instead of a Beta quantile
-	// bisection (see decisionBounds).
+	// bisection (see decisionBounds). Parameters are hoisted into locals
+	// so the sampling loop carries no field loads, and the CheckInterval
+	// modulo only runs in the non-default CheckInterval > 1 configuration.
 	countSatisfied := 0
 	accept, reject := e.bounds.acceptAt, e.bounds.rejectAt
-	if c.Strategy() == resample.Point && rs.PrimedAllCertain() {
+	maxS, minS, ci := e.params.MaxSamples, e.params.MinSamples, e.params.CheckInterval
+	samples := 0
+	if strat == resample.Point && rs.PrimedAllCertain() {
 		// Point resampling of all-certain windows returns the raw values
 		// on every draw and consumes no randomness, so the constraint
 		// verdict is the same for all N samples: evaluate it once and
 		// replay the decision schedule on the boundary table. Exactly
 		// mirrors the sampling loop below, at O(1) per sample.
 		sat := c.Eval(rs.Draw(w.Windows))
-		for i := 1; i <= e.params.MaxSamples; i++ {
+		for i := 1; i <= maxS; i++ {
 			if sat {
 				countSatisfied = i
 			}
-			res.Samples = i
-			if i < e.params.MinSamples {
+			samples = i
+			if i < minS {
 				continue
 			}
-			if i%e.params.CheckInterval != 0 && i != e.params.MaxSamples {
+			if ci != 1 && i%ci != 0 && i != maxS {
 				continue
 			}
 			if countSatisfied >= accept[i] {
@@ -214,18 +242,20 @@ func (e *Evaluator) Evaluate(c Constraint, w WindowTuple) Result {
 				break
 			}
 		}
-		return e.finish(res, countSatisfied)
+		res.Samples = samples
+		e.finish(res, countSatisfied)
+		return
 	}
-	for i := 1; i <= e.params.MaxSamples; i++ {
+	for i := 1; i <= maxS; i++ {
 		sample := rs.Draw(w.Windows)
 		if c.Eval(sample) {
 			countSatisfied++
 		}
-		res.Samples = i
-		if i < e.params.MinSamples {
+		samples = i
+		if i < minS {
 			continue
 		}
-		if i%e.params.CheckInterval != 0 && i != e.params.MaxSamples {
+		if ci != 1 && i%ci != 0 && i != maxS {
 			continue
 		}
 		if countSatisfied >= accept[i] {
@@ -237,15 +267,18 @@ func (e *Evaluator) Evaluate(c Constraint, w WindowTuple) Result {
 			break
 		}
 	}
-	return e.finish(res, countSatisfied)
+	res.Samples = samples
+	e.finish(res, countSatisfied)
 }
 
-// finish fills the posterior summary of a terminated evaluation: the
-// satisfied count, violation probability, and the credible interval the
-// decision rule saw at its last check (from the precomputed terminal
-// tables whenever the count sits on a boundary, which it always does
-// with CheckInterval = 1).
-func (e *Evaluator) finish(res Result, countSatisfied int) Result {
+// finish fills the posterior summary of a terminated evaluation in
+// place: the satisfied count, violation probability, and the credible
+// interval the decision rule saw at its last check (from the precomputed
+// terminal tables whenever the count sits on a boundary, which it always
+// does with CheckInterval = 1). It takes a pointer because Result embeds
+// the window tuple — passing it by value puts two struct copies on the
+// point-check hot path.
+func (e *Evaluator) finish(res *Result, countSatisfied int) {
 	b := e.bounds
 	s, n := countSatisfied, res.Samples
 	switch {
@@ -266,17 +299,19 @@ func (e *Evaluator) finish(res Result, countSatisfied int) Result {
 	}
 	res.SatisfiedCount = s
 	res.ViolationProb = 1 - (e.params.PriorAlpha+float64(s))/(e.params.PriorAlpha+e.params.PriorBeta+float64(n))
-	return res
 }
 
 // EvaluateAll applies the windowing function and evaluates the constraint
 // on every window tuple, the densest coverage discussed in §IV-A
-// ("a constraint is evaluated for every index").
+// ("a constraint is evaluated for every index"). Each input series is
+// extracted into the evaluator's SoA scratch once and every tuple
+// evaluates through views into that shared extraction.
 func (e *Evaluator) EvaluateAll(c Constraint, win Windower, ss []series.Series) []Result {
-	tuples := win.Windows(ss)
+	tuples := e.extc.windowTuples(win, ss)
+	e.extc.attach(ClassifyWindow(win), ss, tuples)
 	out := make([]Result, len(tuples))
-	for i, w := range tuples {
-		out[i] = e.Evaluate(c, w)
+	for i := range tuples {
+		e.evaluateInto(&out[i], c, tuples[i])
 	}
 	return out
 }

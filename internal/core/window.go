@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sound/internal/resample"
 	"sound/internal/series"
 )
 
@@ -12,6 +13,14 @@ import (
 type WindowTuple struct {
 	// Windows holds the k windows, aligned across the checked series.
 	Windows []series.Series
+	// Ext optionally carries per-slot views into shared SoA extractions
+	// of the checked series (index-aligned with Windows), letting the
+	// evaluator prime its resampling kernels without re-extracting the
+	// window. Views alias execution-scoped scratch buffers: they are
+	// valid only for the evaluation call the tuple is handed to, and the
+	// producer guarantees each valid view's content matches the window's
+	// points. Nil (or a zero View per slot) means "extract from Windows".
+	Ext []resample.View
 	// Start and End delimit the window in time (time windows) or in
 	// index space (count windows, encoded as float).
 	Start, End float64
@@ -35,7 +44,11 @@ type Windower interface {
 type PointWindow struct{}
 
 // Windows implements Windower.
-func (PointWindow) Windows(ss []series.Series) []WindowTuple {
+func (w PointWindow) Windows(ss []series.Series) []WindowTuple {
+	return w.windowsInto(ss, nil)
+}
+
+func (PointWindow) windowsInto(ss []series.Series, buf []WindowTuple) []WindowTuple {
 	if len(ss) == 0 {
 		return nil
 	}
@@ -45,11 +58,17 @@ func (PointWindow) Windows(ss []series.Series) []WindowTuple {
 			n = len(s)
 		}
 	}
-	out := make([]WindowTuple, n)
+	out := tupleSlice(buf, n)
+	// One flat backing array for all n window slices instead of one
+	// allocation per tuple; full-capacity sub-slices keep tuples isolated.
+	// The backing array is always fresh — Results retain the window slices
+	// long after a pooled tuple buffer has been reused.
+	k := len(ss)
+	flat := make([]series.Series, n*k)
 	for i := 0; i < n; i++ {
-		ws := make([]series.Series, len(ss))
-		for k, s := range ss {
-			ws[k] = s[i : i+1]
+		ws := flat[i*k : (i+1)*k : (i+1)*k]
+		for j, s := range ss {
+			ws[j] = s[i : i+1]
 		}
 		out[i] = WindowTuple{Windows: ws, Start: ss[0][i].T, End: ss[0][i].T, Index: i}
 	}
@@ -128,6 +147,10 @@ type CountWindow struct {
 
 // Windows implements Windower.
 func (w CountWindow) Windows(ss []series.Series) []WindowTuple {
+	return w.windowsInto(ss, nil)
+}
+
+func (w CountWindow) windowsInto(ss []series.Series, buf []WindowTuple) []WindowTuple {
 	if len(ss) == 0 || w.Size <= 0 {
 		return nil
 	}
@@ -144,15 +167,18 @@ func (w CountWindow) Windows(ss []series.Series) []WindowTuple {
 	if n < w.Size {
 		return nil
 	}
-	var out []WindowTuple
+	count := (n-w.Size)/slide + 1
+	k := len(ss)
+	out := tupleSlice(buf, count)
+	flat := make([]series.Series, count*k)
 	idx := 0
 	for start := 0; start+w.Size <= n; start += slide {
 		end := start + w.Size
-		ws := make([]series.Series, len(ss))
-		for k, s := range ss {
-			ws[k] = s[start:end]
+		ws := flat[idx*k : (idx+1)*k : (idx+1)*k]
+		for j, s := range ss {
+			ws[j] = s[start:end]
 		}
-		out = append(out, WindowTuple{Windows: ws, Start: float64(start), End: float64(end), Index: idx})
+		out[idx] = WindowTuple{Windows: ws, Start: float64(start), End: float64(end), Index: idx}
 		idx++
 	}
 	return out

@@ -1,0 +1,419 @@
+package resample
+
+import (
+	"math"
+	"sort"
+
+	"sound/internal/series"
+)
+
+// This file holds the compiled window-resampling plan: the SoA extraction
+// of a window and the tight per-class kernels Draw runs over it.
+//
+// Alg. 1 draws up to N resamples of the same window tuple, and the naive
+// loop pays for that N times over: per point per sample it re-reads a
+// series.Point struct, re-branches on the certain/symmetric/asymmetric
+// uncertainty cases, and re-derives the split-normal branch weight. The
+// plan splits that work at its natural frequency boundary. Extraction
+// happens once per (window, evaluation): values and uncertainties are
+// copied into flat float64 slices, each point is tagged with its
+// perturbation class, and maximal class-homogeneous runs are recorded.
+// Sampling happens N times over the extraction: per-class kernels process
+// whole runs with no struct traffic and no per-point class branch, and
+// symmetric runs draw their normals through rng.NormFill, which keeps the
+// generator state in registers for the whole run.
+//
+// Bit-parity argument. PerturbValue consumes randomness per point as a
+// pure function of the point's class: a certain point draws nothing, a
+// symmetric point draws exactly one NormFloat64, an asymmetric point
+// draws one Float64 (the branch coin) then one NormFloat64 (the
+// half-normal). The kernels process points in exactly the order the
+// scalar loop visits them — runs are contiguous and iterated in index
+// order, gathers follow the index vector — so the sequence of draw
+// *kinds* presented to the RNG is identical, and NormFill/IntnFill are
+// stream-exact batched forms of NormFloat64/Intn (pinned by tests in
+// internal/rng). Each emitted value is computed with the same floating
+// point operations on the same operands as the scalar path. Hence every
+// resample, and everything downstream of it, is bit-identical.
+
+// Class tags a point's perturbation class, which fully determines how
+// much randomness resampling the point consumes (see PerturbValue).
+type Class uint8
+
+const (
+	// ClassCertain marks σ↑ = σ↓ = 0: the value is emitted unperturbed
+	// and no randomness is consumed.
+	ClassCertain Class = iota
+	// ClassSymmetric marks σ↑ = σ↓ ≠ 0: one N(0,1) draw per resample.
+	ClassSymmetric
+	// ClassAsymmetric marks σ↑ ≠ σ↓: one uniform (branch coin) and one
+	// N(0,1) draw per resample.
+	ClassAsymmetric
+)
+
+// smallWindow is the point count below which the scalar SoA loop beats
+// the run-dispatched batched kernels (loop setup and NormFill state
+// staging dominate tiny windows, e.g. point-wise checks).
+const smallWindow = 8
+
+// classRun is a maximal run [Lo, Hi) of equally-tagged points.
+type classRun struct {
+	Lo, Hi int
+	Class  Class
+}
+
+// Extraction is the SoA form of one window: parallel flat slices of
+// values, directional uncertainties, and per-point class tags, plus the
+// maximal class-homogeneous runs the kernels iterate. Buffers are reused
+// across Extract calls. An Extraction does not alias the source window;
+// callers maintaining one incrementally (stream operators) keep it in
+// sync with AppendPoint and TrimFront.
+type Extraction struct {
+	Vals    []float64
+	SigUp   []float64
+	SigDown []float64
+	Tags    []Class
+	runs    []classRun
+	// seen is the class mix of the whole extraction, a bitmask of
+	// 1<<Class — kept current by Extract/AppendPoint/TrimFront so
+	// whole-extraction views answer classes() without scanning runs.
+	seen uint8
+}
+
+// Len returns the number of extracted points.
+func (x *Extraction) Len() int { return len(x.Vals) }
+
+// Reset empties the extraction, keeping capacity.
+func (x *Extraction) Reset() {
+	x.Vals = x.Vals[:0]
+	x.SigUp = x.SigUp[:0]
+	x.SigDown = x.SigDown[:0]
+	x.Tags = x.Tags[:0]
+	x.runs = x.runs[:0]
+	x.seen = 0
+}
+
+// Extract (re)builds the extraction from w, reusing buffers. The loop is
+// kept flat (no AppendPoint) because point-wise checks re-extract a
+// one-point window per evaluation — prime cost is on the hot path there.
+func (x *Extraction) Extract(w series.Series) {
+	n := len(w)
+	x.Vals = sliceFor(x.Vals, n)
+	x.SigUp = sliceFor(x.SigUp, n)
+	x.SigDown = sliceFor(x.SigDown, n)
+	x.Tags = tagsFor(x.Tags, n)
+	x.runs = x.runs[:0]
+	last := Class(0)
+	seen := uint8(0)
+	for i, p := range w {
+		x.Vals[i] = p.V
+		x.SigUp[i] = p.SigUp
+		x.SigDown[i] = p.SigDown
+		t := classify(p)
+		x.Tags[i] = t
+		seen |= 1 << t
+		if i > 0 && t == last {
+			x.runs[len(x.runs)-1].Hi = i + 1
+			continue
+		}
+		x.runs = append(x.runs, classRun{Lo: i, Hi: i + 1, Class: t})
+		last = t
+	}
+	x.seen = seen
+}
+
+// ExtendFrom appends the points of w beyond the extraction's current
+// length, for callers whose window buffer only grows between fires: after
+// appending events to w, ExtendFrom(w) brings the extraction back in
+// sync at the cost of the new points only.
+func (x *Extraction) ExtendFrom(w series.Series) {
+	for i := x.Len(); i < len(w); i++ {
+		x.AppendPoint(w[i])
+	}
+}
+
+// AppendPoint extends the extraction by one point.
+func (x *Extraction) AppendPoint(p series.Point) {
+	t := classify(p)
+	n := len(x.Vals)
+	x.Vals = append(x.Vals, p.V)
+	x.SigUp = append(x.SigUp, p.SigUp)
+	x.SigDown = append(x.SigDown, p.SigDown)
+	x.Tags = append(x.Tags, t)
+	x.seen |= 1 << t
+	if m := len(x.runs); m > 0 && x.runs[m-1].Class == t {
+		x.runs[m-1].Hi = n + 1
+		return
+	}
+	x.runs = append(x.runs, classRun{Lo: n, Hi: n + 1, Class: t})
+}
+
+// TrimFront drops the first n points, copying the arrays down in place so
+// previously handed-out Views into the extraction must not be used after
+// a trim. Stream operators call it alongside their own window-buffer
+// copy-down.
+func (x *Extraction) TrimFront(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= x.Len() {
+		x.Reset()
+		return
+	}
+	m := copy(x.Vals, x.Vals[n:])
+	x.Vals = x.Vals[:m]
+	copy(x.SigUp, x.SigUp[n:])
+	x.SigUp = x.SigUp[:m]
+	copy(x.SigDown, x.SigDown[n:])
+	x.SigDown = x.SigDown[:m]
+	copy(x.Tags, x.Tags[n:])
+	x.Tags = x.Tags[:m]
+	// Rebuild the run list over the shifted tags; runs are few, and the
+	// scan is linear in their count plus the clipped first run.
+	runs := x.runs[:0]
+	seen := uint8(0)
+	for _, r := range x.runs {
+		if r.Hi <= n {
+			continue
+		}
+		lo := r.Lo - n
+		if lo < 0 {
+			lo = 0
+		}
+		runs = append(runs, classRun{Lo: lo, Hi: r.Hi - n, Class: r.Class})
+		seen |= 1 << r.Class
+	}
+	x.runs = runs
+	x.seen = seen
+}
+
+// View returns a View covering the whole extraction.
+func (x *Extraction) View() View { return View{X: x, Lo: 0, Hi: x.Len()} }
+
+// Slice returns a View of the half-open point range [lo, hi) — the
+// window-overlap primitive: sliding/count stream windows hand the kernels
+// overlapping sub-slices of one shared extraction instead of re-extracting
+// each window.
+func (x *Extraction) Slice(lo, hi int) View { return View{X: x, Lo: lo, Hi: hi} }
+
+// classify maps a point to its perturbation class with exactly the branch
+// structure of PerturbValue, so class tags and the scalar path can never
+// disagree on how much randomness a point consumes.
+func classify(p series.Point) Class {
+	if p.Certain() {
+		return ClassCertain
+	}
+	if p.SigUp == p.SigDown {
+		return ClassSymmetric
+	}
+	return ClassAsymmetric
+}
+
+// View is a half-open range of an Extraction — one window, possibly a
+// sub-slice of a larger shared extraction. The zero View means "no
+// extraction available"; consumers fall back to extracting themselves.
+type View struct {
+	X      *Extraction
+	Lo, Hi int
+}
+
+// Len returns the number of points in the view.
+func (v View) Len() int { return v.Hi - v.Lo }
+
+// ValidFor reports whether the view is usable as the extraction of an
+// n-point window: non-nil, in bounds, and of matching length. It cannot
+// verify the extracted values match the window's — that is the caller's
+// contract when passing shared extractions through WindowTuple.
+func (v View) ValidFor(n int) bool {
+	return v.X != nil && v.Lo >= 0 && v.Hi-v.Lo == n && v.Hi <= v.X.Len()
+}
+
+// classes reports which perturbation classes occur inside the view. A
+// whole-extraction view answers from the cached mix; small sub-ranges
+// scan their tags directly; larger ones scan the overlapping runs,
+// located by binary search so narrow views over a long shared extraction
+// (point windows sliding over a series) stay O(log runs), not O(runs).
+func (v View) classes() (hasCertain, hasSym, hasAsym bool) {
+	x := v.X
+	if v.Lo == 0 && v.Hi == x.Len() {
+		s := x.seen
+		return s&(1<<ClassCertain) != 0, s&(1<<ClassSymmetric) != 0, s&(1<<ClassAsymmetric) != 0
+	}
+	if v.Len() <= 16 {
+		var s uint8
+		for _, t := range x.Tags[v.Lo:v.Hi] {
+			s |= 1 << t
+		}
+		return s&(1<<ClassCertain) != 0, s&(1<<ClassSymmetric) != 0, s&(1<<ClassAsymmetric) != 0
+	}
+	for ri := x.runStart(v.Lo); ri < len(x.runs); ri++ {
+		r := x.runs[ri]
+		if r.Lo >= v.Hi {
+			break
+		}
+		switch r.Class {
+		case ClassCertain:
+			hasCertain = true
+		case ClassSymmetric:
+			hasSym = true
+		case ClassAsymmetric:
+			hasAsym = true
+		}
+	}
+	return
+}
+
+// runStart returns the index of the first run overlapping point lo (the
+// first run with Hi > lo). Runs partition [0, Len) in order, so binary
+// search applies.
+func (x *Extraction) runStart(lo int) int {
+	return sort.Search(len(x.runs), func(i int) bool { return x.runs[i].Hi > lo })
+}
+
+// normScratch returns a normal-variate scratch buffer of length n.
+func (rs *Resampler) normScratch(n int) []float64 {
+	rs.norm = sliceFor(rs.norm, n)
+	return rs.norm
+}
+
+// perturbView is the point-perturbation kernel: it fills buf with one
+// perturbed realization of the view's points, run by run in index order.
+// Certain runs are block copies; symmetric runs batch their normals
+// through NormFill and apply a fused gather-free vals+sig·z loop;
+// asymmetric runs fall back to the scalar split-normal draw. The RNG
+// stream consumed is exactly that of PerturbValue applied point by point.
+func (rs *Resampler) perturbView(v View, buf []float64) {
+	x := v.X
+	r := rs.r
+	if n := v.Len(); n < smallWindow {
+		// Batched normals cannot amortize their setup over a handful of
+		// points; the scalar SoA loop consumes the identical stream. The
+		// sub-slices are hoisted so the loop indexes from zero with one
+		// bounds check each.
+		tags := x.Tags[v.Lo:v.Hi]
+		vals := x.Vals[v.Lo:v.Hi]
+		ups := x.SigUp[v.Lo:v.Hi]
+		downs := x.SigDown[v.Lo:v.Hi]
+		for i := 0; i < n; i++ {
+			switch tags[i] {
+			case ClassCertain:
+				buf[i] = vals[i]
+			case ClassSymmetric:
+				buf[i] = vals[i] + ups[i]*r.NormFloat64()
+			default:
+				s := ups[i] + downs[i]
+				if r.Float64()*s < ups[i] {
+					buf[i] = vals[i] + math.Abs(r.NormFloat64())*ups[i]
+				} else {
+					buf[i] = vals[i] - math.Abs(r.NormFloat64())*downs[i]
+				}
+			}
+		}
+		return
+	}
+	for ri := x.runStart(v.Lo); ri < len(x.runs); ri++ {
+		run := x.runs[ri]
+		if run.Lo >= v.Hi {
+			break
+		}
+		lo, hi := run.Lo, run.Hi
+		if lo < v.Lo {
+			lo = v.Lo
+		}
+		if hi > v.Hi {
+			hi = v.Hi
+		}
+		o := lo - v.Lo
+		switch run.Class {
+		case ClassCertain:
+			copy(buf[o:o+hi-lo], x.Vals[lo:hi])
+		case ClassSymmetric:
+			m := hi - lo
+			z := rs.normScratch(m)
+			r.NormFill(z)
+			vals, sig, out := x.Vals[lo:hi], x.SigUp[lo:hi], buf[o:o+m]
+			for i := range out {
+				out[i] = vals[i] + sig[i]*z[i]
+			}
+		case ClassAsymmetric:
+			for i := lo; i < hi; i++ {
+				s := x.SigUp[i] + x.SigDown[i]
+				if r.Float64()*s < x.SigUp[i] {
+					buf[i-v.Lo] = x.Vals[i] + math.Abs(r.NormFloat64())*x.SigUp[i]
+				} else {
+					buf[i-v.Lo] = x.Vals[i] - math.Abs(r.NormFloat64())*x.SigDown[i]
+				}
+			}
+		}
+	}
+}
+
+// materializeView is the bootstrap-gather kernel: it fills buf with the
+// perturbed values of the view's points at the given view-relative
+// indices. The class mix of the view (precomputed at prime time) selects
+// the kernel: an all-certain view is a pure gather; a view without
+// asymmetric points batches all its normals in one NormFill — the class
+// sequence along idx determines which gathered points consume one, so a
+// counting pass replaces the per-point branch-and-call; mixed views run
+// the scalar tag switch, which still beats the struct path by reading
+// flat arrays.
+func (rs *Resampler) materializeView(m *winMeta, idx []int, buf []float64) {
+	x := m.view.X
+	base := m.view.Lo
+	vals := x.Vals[base:m.view.Hi]
+	switch {
+	case !m.hasSym && !m.hasAsym:
+		for i, j := range idx {
+			buf[i] = vals[j]
+		}
+	case !m.hasAsym:
+		sig := x.SigUp[base:m.view.Hi]
+		var z []float64
+		if !m.hasCertain {
+			// All symmetric: every gathered point consumes one normal.
+			z = rs.normScratch(len(idx))
+			rs.r.NormFill(z)
+			for i, j := range idx {
+				buf[i] = vals[j] + sig[j]*z[i]
+			}
+			return
+		}
+		tags := x.Tags[base:m.view.Hi]
+		draws := 0
+		for _, j := range idx {
+			if tags[j] == ClassSymmetric {
+				draws++
+			}
+		}
+		z = rs.normScratch(draws)
+		rs.r.NormFill(z)
+		zi := 0
+		for i, j := range idx {
+			if tags[j] == ClassSymmetric {
+				buf[i] = vals[j] + sig[j]*z[zi]
+				zi++
+			} else {
+				buf[i] = vals[j]
+			}
+		}
+	default:
+		r := rs.r
+		tags := x.Tags[base:m.view.Hi]
+		sigUp, sigDown := x.SigUp[base:m.view.Hi], x.SigDown[base:m.view.Hi]
+		for i, j := range idx {
+			switch tags[j] {
+			case ClassCertain:
+				buf[i] = vals[j]
+			case ClassSymmetric:
+				buf[i] = vals[j] + sigUp[j]*r.NormFloat64()
+			default:
+				s := sigUp[j] + sigDown[j]
+				if r.Float64()*s < sigUp[j] {
+					buf[i] = vals[j] + math.Abs(r.NormFloat64())*sigUp[j]
+				} else {
+					buf[i] = vals[j] - math.Abs(r.NormFloat64())*sigDown[j]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package resample
+
+import (
+	"testing"
+
+	"sound/internal/rng"
+	"sound/internal/series"
+)
+
+// These tests pin the bit-parity contract of the compiled kernels (see
+// the package comment in kernel.go): for identical RNG state, the batched
+// per-class kernels draw exactly the sequence the scalar PerturbValue
+// path draws — same values, same randomness consumed — for every
+// strategy, every point-class mix, and views at any offset into a shared
+// extraction. The scalar reference is the unprimed resampler, whose Draw
+// falls back to PerturbValue per point (for Point) and per gathered index
+// (for Set and Sequence).
+
+// classPoint materializes one point of the requested class shape:
+// 0 certain (σ↑ = σ↓ = 0), 1 symmetric (σ↑ = σ↓ ≠ 0), 2 fully
+// asymmetric, 3 asymmetric with σ↑ = 0, 4 asymmetric with σ↓ = 0.
+func classPoint(t float64, shape byte, mag float64) series.Point {
+	p := series.Point{T: t, V: mag*7 - 3}
+	switch shape % 5 {
+	case 1:
+		p.SigUp, p.SigDown = mag+0.5, mag+0.5
+	case 2:
+		p.SigUp, p.SigDown = mag+0.25, 2*mag+1
+	case 3:
+		p.SigUp, p.SigDown = 0, mag+1
+	case 4:
+		p.SigUp, p.SigDown = mag+1, 0
+	}
+	return p
+}
+
+// windowFromBytes decodes a fuzz payload into a window: two bytes per
+// point (class shape, magnitude).
+func windowFromBytes(data []byte) series.Series {
+	w := make(series.Series, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		w = append(w, classPoint(float64(i/2), data[i], float64(data[i+1])/16))
+	}
+	return w
+}
+
+// checkDrawParity drives a kernel-primed resampler and a scalar fallback
+// resampler from the same seed over the same windows and requires
+// bit-identical draws throughout, then proves the RNG states finished
+// identical by probing both with a draw on a fresh uncertainty-heavy
+// window (any skew in consumed randomness would desynchronize it).
+func checkDrawParity(t *testing.T, strat Strategy, seed uint64, windows []series.Series, views []View, draws int) {
+	t.Helper()
+	kernel := New(strat, rng.New(seed))
+	scalar := New(strat, rng.New(seed))
+	if views != nil {
+		kernel.PrimeViews(windows, views)
+	} else {
+		kernel.Prime(windows)
+	}
+	for d := 0; d < draws; d++ {
+		got := kernel.Draw(windows)
+		want := scalar.Draw(windows)
+		for wi := range want {
+			if len(got[wi]) != len(want[wi]) {
+				t.Fatalf("%v draw %d window %d: len %d, want %d", strat, d, wi, len(got[wi]), len(want[wi]))
+			}
+			for i := range want[wi] {
+				if got[wi][i] != want[wi][i] {
+					t.Fatalf("%v draw %d window %d point %d: kernel %v, scalar %v",
+						strat, d, wi, i, got[wi][i], want[wi][i])
+				}
+			}
+		}
+	}
+	probe := []series.Series{{
+		{T: 0, V: 1, SigUp: 1, SigDown: 3},
+		{T: 1, V: 2, SigUp: 2, SigDown: 2},
+		{T: 2, V: 3, SigUp: 0.5, SigDown: 0},
+	}}
+	a, b := kernel.Draw(probe), scalar.Draw(probe)
+	for i := range b[0] {
+		if a[0][i] != b[0][i] {
+			t.Fatalf("%v: RNG state diverged after parity draws (probe point %d: %v vs %v)",
+				strat, i, a[0][i], b[0][i])
+		}
+	}
+}
+
+// TestKernelScalarParityRandomized is the property test: random windows
+// spanning all class shapes — including σ↑ = σ↓ and σ = 0 points mixed
+// in one window — and lengths covering the scalar small-window path, the
+// run-dispatched kernels, and the single-point fast path, for all three
+// strategies.
+func TestKernelScalarParityRandomized(t *testing.T) {
+	gen := rng.New(0xC0FFEE)
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + gen.Intn(40)
+		w := make(series.Series, n)
+		for i := range w {
+			w[i] = classPoint(float64(i), byte(gen.Intn(5)), float64(gen.Intn(64))/16)
+		}
+		seed := gen.Uint64()
+		for _, strat := range []Strategy{Point, Set, Sequence} {
+			checkDrawParity(t, strat, seed, []series.Series{w}, nil, 25)
+		}
+	}
+}
+
+// TestKernelScalarParityMixedClasses pins the exact mixes the bit-parity
+// argument calls out: certain, symmetric (σ↑ = σ↓), and asymmetric
+// points — including zero-σ directions — in one window.
+func TestKernelScalarParityMixedClasses(t *testing.T) {
+	w := series.Series{
+		{T: 0, V: 5},                          // certain (σ = 0)
+		{T: 1, V: 10, SigUp: 2, SigDown: 2},   // symmetric σ↑ = σ↓
+		{T: 2, V: -3, SigUp: 1, SigDown: 4},   // asymmetric
+		{T: 3, V: 7, SigUp: 0, SigDown: 2},    // asymmetric, σ↑ = 0
+		{T: 4, V: 1, SigUp: 3, SigDown: 0},    // asymmetric, σ↓ = 0
+		{T: 5, V: 0},                          // certain again (new run)
+		{T: 6, V: 2, SigUp: 0.5, SigDown: 0.5},
+		{T: 7, V: 2, SigUp: 0.5, SigDown: 0.5},
+		{T: 8, V: 2, SigUp: 0.5, SigDown: 0.5}, // symmetric run ≥ 3
+	}
+	for _, strat := range []Strategy{Point, Set, Sequence} {
+		checkDrawParity(t, strat, 42, []series.Series{w}, nil, 100)
+	}
+}
+
+// TestKernelScalarParityViews proves parity holds for views at arbitrary
+// offsets into a shared extraction — the window-overlap path the batch
+// and stream executors use.
+func TestKernelScalarParityViews(t *testing.T) {
+	gen := rng.New(7)
+	backing := make(series.Series, 64)
+	for i := range backing {
+		backing[i] = classPoint(float64(i), byte(gen.Intn(5)), float64(gen.Intn(64))/16)
+	}
+	var x Extraction
+	x.Extract(backing)
+	for _, span := range [][2]int{{0, 64}, {3, 4}, {10, 13}, {17, 42}, {63, 64}, {5, 30}} {
+		lo, hi := span[0], span[1]
+		w := backing[lo:hi]
+		views := []View{x.Slice(lo, hi)}
+		for _, strat := range []Strategy{Point, Set, Sequence} {
+			checkDrawParity(t, strat, uint64(lo*100+hi), []series.Series{w}, views, 40)
+		}
+	}
+}
+
+// TestKernelScalarParityKAry covers aligned k-ary draws through views of
+// distinct extractions.
+func TestKernelScalarParityKAry(t *testing.T) {
+	gen := rng.New(99)
+	mk := func() series.Series {
+		w := make(series.Series, 24)
+		for i := range w {
+			w[i] = classPoint(float64(i), byte(gen.Intn(5)), float64(gen.Intn(64))/16)
+		}
+		return w
+	}
+	w1, w2 := mk(), mk()
+	var x1, x2 Extraction
+	x1.Extract(w1)
+	x2.Extract(w2)
+	windows := []series.Series{w1[4:20], w2[8:24]}
+	views := []View{x1.Slice(4, 20), x2.Slice(8, 24)}
+	for _, strat := range []Strategy{Point, Set, Sequence} {
+		checkDrawParity(t, strat, 1234, windows, views, 40)
+	}
+}
+
+// FuzzKernelScalarParity fuzzes the parity property directly: any class
+// mix the payload encodes must draw bit-identically through the kernels
+// and the scalar path, for every strategy.
+func FuzzKernelScalarParity(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 8, 1, 8, 2, 8})           // one point of each class
+	f.Add(uint64(2), []byte{1, 16, 1, 16, 1, 16, 1, 16}) // all symmetric, σ↑ = σ↓
+	f.Add(uint64(3), []byte{0, 1, 0, 2, 0, 3})           // all certain (σ = 0)
+	f.Add(uint64(4), []byte{3, 9, 4, 9, 2, 0})           // zero-σ directions
+	f.Add(uint64(5), []byte{1, 255})                     // single uncertain point
+	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		w := windowFromBytes(data)
+		if len(w) == 0 {
+			return
+		}
+		for _, strat := range []Strategy{Point, Set, Sequence} {
+			checkDrawParity(t, strat, seed, []series.Series{w}, nil, 8)
+		}
+	})
+}

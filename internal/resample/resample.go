@@ -113,31 +113,26 @@ func AutoBlockSize(vals []float64) int {
 type Resampler struct {
 	strategy  Strategy
 	r         *rng.Rand
-	blockSize int         // 0 = automatic b = ⌈√n⌉
-	buf       [][]float64 // per-window value buffers, reused
-	idx       []int       // shared index buffer for set/sequence draws
-	meta      []winMeta   // per-window metadata primed for repeated draws
+	blockSize int          // 0 = automatic b = ⌈√n⌉
+	buf       [][]float64  // per-window value buffers, reused
+	idx       []int        // shared index buffer for set/sequence draws
+	meta      []winMeta    // per-window metadata primed for repeated draws
+	own       []Extraction // owned extractions for windows primed from raw points
+	norm      []float64    // normal-variate scratch for the batched kernels
+	starts    []int        // block-start scratch for the sequence bootstrap
 }
 
-// winMeta caches per-window facts that hold across the many draws of one
-// evaluation: the raw values (so an all-certain window resamples by copy
-// instead of per-point perturbation) and a per-point perturbation code
-// hoisting the split-normal branch weight out of the draw loop:
-//
-//	sum[i] == 0:  certain — emit vals[i] unperturbed
-//	sum[i] < 0:   symmetric, σ = −sum[i] — emit vals[i] + σ·N(0,1)
-//	sum[i] > 0:   asymmetric — branch weight σ↑+σ↓, then a half-normal
-//
-// The (ptr, n) pair identifies the window slice the metadata was
-// computed from; Draw only trusts it for an identical slice, so stale
-// metadata can never be applied to different data that happens to occupy
-// a reused buffer.
+// winMeta binds window slot wi to its SoA extraction view for a run of
+// Draw calls, plus the view's class mix (precomputed once so every draw
+// dispatches straight to the right kernel). The (ptr, n) pair identifies
+// the window slice the metadata was computed from; Draw only trusts it
+// for an identical slice, so stale metadata can never be applied to
+// different data that happens to occupy a reused buffer.
 type winMeta struct {
-	ptr        *series.Point
-	n          int
-	allCertain bool
-	vals       []float64
-	sum        []float64
+	ptr                         *series.Point
+	n                           int
+	view                        View
+	hasCertain, hasSym, hasAsym bool
 }
 
 // New returns a Resampler with the given strategy and random source.
@@ -172,37 +167,71 @@ func (rs *Resampler) Reseed(parent *rng.Rand) {
 // all-certain windows into plain copies and removes a per-point addition
 // from every uncertain draw.
 func (rs *Resampler) Prime(windows []series.Series) {
-	if cap(rs.meta) < len(windows) {
-		rs.meta = make([]winMeta, len(windows))
-	}
-	rs.meta = rs.meta[:len(windows)]
+	rs.sizeMeta(len(windows))
 	for wi, w := range windows {
-		m := &rs.meta[wi]
-		m.n = len(w)
-		m.ptr = nil
-		if len(w) == 0 {
-			m.allCertain = true
-			m.vals = m.vals[:0]
+		rs.primeOwn(wi, w)
+	}
+}
+
+// PrimeViews primes the resampler from caller-maintained extractions:
+// views[wi] is used as the extraction of windows[wi] when it is valid for
+// that window's length, skipping the per-window extraction pass
+// entirely. Invalid (zero) views fall back to extracting from the raw
+// points, so callers can mix shared and unextracted windows freely.
+// The caller guarantees a valid view's SoA content matches the window's
+// points — stream operators and the violation analyzer maintain that
+// invariant incrementally; the (ptr, n) identity guard still protects
+// against Draw being handed different windows afterwards.
+func (rs *Resampler) PrimeViews(windows []series.Series, views []View) {
+	rs.sizeMeta(len(windows))
+	for wi, w := range windows {
+		if wi < len(views) && views[wi].ValidFor(len(w)) {
+			m := &rs.meta[wi]
+			m.n = len(w)
+			m.ptr = nil
+			if len(w) > 0 {
+				m.ptr = &w[0]
+			}
+			m.view = views[wi]
+			m.hasCertain, m.hasSym, m.hasAsym = m.view.classes()
 			continue
 		}
-		m.ptr = &w[0]
-		m.vals = sliceFor(m.vals, len(w))
-		m.sum = sliceFor(m.sum, len(w))
-		m.allCertain = true
-		for i, p := range w {
-			m.vals[i] = p.V
-			switch {
-			case p.Certain():
-				m.sum[i] = 0
-			case p.SigUp == p.SigDown:
-				m.sum[i] = -p.SigUp
-				m.allCertain = false
-			default:
-				m.sum[i] = p.SigUp + p.SigDown
-				m.allCertain = false
-			}
-		}
+		rs.primeOwn(wi, w)
 	}
+}
+
+// sizeMeta sizes the metadata slice for k windows.
+func (rs *Resampler) sizeMeta(k int) {
+	if cap(rs.meta) < k {
+		rs.meta = make([]winMeta, k)
+	}
+	rs.meta = rs.meta[:k]
+}
+
+// primeOwn extracts window slot wi into the resampler's own scratch
+// extraction, which is reused across Prime calls — an Evaluator walking
+// EvaluateAll windows re-extracts into the same buffers every time. The
+// owned extractions grow on demand so fully view-primed runs never touch
+// them.
+func (rs *Resampler) primeOwn(wi int, w series.Series) {
+	m := &rs.meta[wi]
+	m.n = len(w)
+	m.ptr = nil
+	if len(w) > 0 {
+		m.ptr = &w[0]
+	}
+	if wi >= len(rs.own) {
+		if wi >= cap(rs.own) {
+			own := make([]Extraction, wi+1, 2*(wi+1))
+			copy(own, rs.own)
+			rs.own = own
+		}
+		rs.own = rs.own[:wi+1]
+	}
+	x := &rs.own[wi]
+	x.Extract(w)
+	m.view = x.View()
+	m.hasCertain, m.hasSym, m.hasAsym = m.view.classes()
 }
 
 // PrimedAllCertain reports whether every window passed to the last Prime
@@ -210,7 +239,7 @@ func (rs *Resampler) Prime(windows []series.Series) {
 // the raw values and consumes no randomness, so all draws are identical.
 func (rs *Resampler) PrimedAllCertain() bool {
 	for i := range rs.meta {
-		if !rs.meta[i].allCertain {
+		if rs.meta[i].hasSym || rs.meta[i].hasAsym {
 			return false
 		}
 	}
@@ -251,21 +280,31 @@ func ForConstraint(pointWise, ordered bool) Strategy {
 // which is the defined behaviour for unary checks with k = 1 anyway.
 func (rs *Resampler) Draw(windows []series.Series) [][]float64 {
 	k := len(windows)
-	if cap(rs.buf) < k {
-		rs.buf = make([][]float64, k)
+	// The buffer stores are guarded by length checks: Draw runs once per
+	// sample on an unchanged window set, so after the first sample every
+	// slot already fits and the loop carries no heap pointer writes (and
+	// no write barriers) at all.
+	if len(rs.buf) != k {
+		if cap(rs.buf) < k {
+			rs.buf = make([][]float64, k)
+		}
+		rs.buf = rs.buf[:k]
 	}
-	rs.buf = rs.buf[:k]
 
 	switch rs.strategy {
 	case Point:
 		for wi, w := range windows {
-			rs.buf[wi] = sliceFor(rs.buf[wi], len(w))
+			buf := rs.buf[wi]
+			if len(buf) != len(w) {
+				buf = sliceFor(buf, len(w))
+				rs.buf[wi] = buf
+			}
 			if m := rs.primed(wi, w); m != nil {
-				rs.drawPoint(m, w, rs.buf[wi])
+				rs.drawPoint(m, buf)
 				continue
 			}
 			for i, p := range w {
-				rs.buf[wi][i] = PerturbValue(p, rs.r)
+				buf[i] = PerturbValue(p, rs.r)
 			}
 		}
 	case Set:
@@ -276,34 +315,31 @@ func (rs *Resampler) Draw(windows []series.Series) [][]float64 {
 	return rs.buf
 }
 
-// drawPoint perturbs one window using primed metadata. The sampling
-// semantics per point are exactly PerturbValue's (certain points draw
-// nothing), with the branch-weight computation hoisted and the loop body
-// inlined — function-call overhead is measurable at this call rate.
-func (rs *Resampler) drawPoint(m *winMeta, w series.Series, buf []float64) {
-	if m.allCertain {
-		copy(buf, m.vals)
+// drawPoint perturbs one window through the compiled kernels. The
+// sampling semantics per point are exactly PerturbValue's (certain points
+// draw nothing); see kernel.go for the bit-parity argument.
+func (rs *Resampler) drawPoint(m *winMeta, buf []float64) {
+	if !m.hasSym && !m.hasAsym {
+		copy(buf, m.view.X.Vals[m.view.Lo:m.view.Hi])
 		return
 	}
-	r := rs.r
-	vals, sums := m.vals, m.sum
-	for i := range w {
-		s := sums[i]
-		if s == 0 {
-			buf[i] = vals[i]
-			continue
-		}
-		if s < 0 {
-			buf[i] = vals[i] - s*r.NormFloat64()
-			continue
-		}
-		p := &w[i]
-		if r.Float64()*s < p.SigUp {
-			buf[i] = p.V + math.Abs(r.NormFloat64())*p.SigUp
+	if v := m.view; v.Hi-v.Lo == 1 {
+		// Point-wise checks land here once per sample: a single uncertain
+		// point, perturbed without entering the run-dispatched kernel.
+		x, i, r := v.X, v.Lo, rs.r
+		if up := x.SigUp[i]; x.Tags[i] == ClassSymmetric {
+			buf[0] = x.Vals[i] + up*r.NormFloat64()
 		} else {
-			buf[i] = p.V - math.Abs(r.NormFloat64())*p.SigDown
+			down := x.SigDown[i]
+			if r.Float64()*(up+down) < up {
+				buf[0] = x.Vals[i] + math.Abs(r.NormFloat64())*up
+			} else {
+				buf[0] = x.Vals[i] - math.Abs(r.NormFloat64())*down
+			}
 		}
+		return
 	}
+	rs.perturbView(m.view, buf)
 }
 
 // drawIndexed samples shared indices per alignment group and materializes
@@ -325,20 +361,28 @@ func (rs *Resampler) drawIndexed(windows []series.Series, gen func(n int) []int)
 		n := len(windows[0])
 		idx := gen(n)
 		for wi := 0; wi < k; wi++ {
-			rs.buf[wi] = sliceFor(rs.buf[wi], n)
-			rs.materialize(wi, windows[wi], idx, rs.buf[wi])
+			buf := rs.buf[wi]
+			if len(buf) != n {
+				buf = sliceFor(buf, n)
+				rs.buf[wi] = buf
+			}
+			rs.materialize(wi, windows[wi], idx, buf)
 		}
 		return
 	}
 	for wi, w := range windows {
 		idx := gen(len(w))
-		rs.buf[wi] = sliceFor(rs.buf[wi], len(w))
-		rs.materialize(wi, w, idx, rs.buf[wi])
+		buf := rs.buf[wi]
+		if len(buf) != len(w) {
+			buf = sliceFor(buf, len(w))
+			rs.buf[wi] = buf
+		}
+		rs.materialize(wi, w, idx, buf)
 	}
 }
 
 // materialize fills buf with perturbed values of w at the given indices,
-// taking the primed fast paths when metadata is available.
+// taking the compiled-kernel path when metadata is primed.
 func (rs *Resampler) materialize(wi int, w series.Series, idx []int, buf []float64) {
 	m := rs.primed(wi, w)
 	if m == nil {
@@ -347,38 +391,15 @@ func (rs *Resampler) materialize(wi int, w series.Series, idx []int, buf []float
 		}
 		return
 	}
-	if m.allCertain {
-		for i, j := range idx {
-			buf[i] = m.vals[j]
-		}
-		return
-	}
-	r := rs.r
-	vals, sums := m.vals, m.sum
-	for i, j := range idx {
-		s := sums[j]
-		if s == 0 {
-			buf[i] = vals[j]
-			continue
-		}
-		if s < 0 {
-			buf[i] = vals[j] - s*r.NormFloat64()
-			continue
-		}
-		p := &w[j]
-		if r.Float64()*s < p.SigUp {
-			buf[i] = p.V + math.Abs(r.NormFloat64())*p.SigUp
-		} else {
-			buf[i] = p.V - math.Abs(r.NormFloat64())*p.SigDown
-		}
-	}
+	rs.materializeView(m, idx, buf)
 }
 
-// setIndices returns n i.i.d. uniform indices in [0, n).
+// setIndices returns n i.i.d. uniform indices in [0, n), drawn through
+// the batched IntnFill (stream-identical to n Intn calls).
 func (rs *Resampler) setIndices(n int) []int {
 	rs.idx = intsFor(rs.idx, n)
-	for i := range rs.idx {
-		rs.idx[i] = rs.r.Intn(n)
+	if n > 0 {
+		rs.r.IntnFill(rs.idx, n)
 	}
 	return rs.idx
 }
@@ -386,7 +407,9 @@ func (rs *Resampler) setIndices(n int) []int {
 // blockIndices returns n indices formed by concatenating contiguous
 // blocks of size b = ⌈√n⌉ whose start offsets are drawn uniformly with
 // replacement (moving-block bootstrap). The final block is truncated to
-// length n.
+// length n. All ⌈n/b⌉ start offsets are drawn up front in one batched
+// IntnFill; expanding a start into its block consumes no randomness, so
+// the stream is identical to the draw-then-expand loop.
 func (rs *Resampler) blockIndices(n int) []int {
 	rs.idx = intsFor(rs.idx, n)
 	if n == 0 {
@@ -399,12 +422,18 @@ func (rs *Resampler) blockIndices(n int) []int {
 	if b > n {
 		b = n
 	}
+	nb := (n + b - 1) / b
+	rs.starts = intsFor(rs.starts, nb)
+	rs.r.IntnFill(rs.starts, n-b+1)
 	pos := 0
-	for pos < n {
-		start := rs.r.Intn(n - b + 1)
-		for j := 0; j < b && pos < n; j++ {
-			rs.idx[pos] = start + j
-			pos++
+	for _, start := range rs.starts {
+		end := pos + b
+		if end > n {
+			end = n
+		}
+		for ; pos < end; pos++ {
+			rs.idx[pos] = start
+			start++
 		}
 	}
 	return rs.idx
@@ -440,6 +469,13 @@ func sliceFor(buf []float64, n int) []float64 {
 func intsFor(buf []int, n int) []int {
 	if cap(buf) < n {
 		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func tagsFor(buf []Class, n int) []Class {
+	if cap(buf) < n {
+		return make([]Class, n)
 	}
 	return buf[:n]
 }

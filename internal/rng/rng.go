@@ -75,16 +75,37 @@ func (r *Rand) SplitInto(child *Rand) {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
-// Uint64 returns the next 64 uniformly distributed bits.
+// xoshiroNext is the xoshiro256** step over explicit state words. It is
+// small enough to inline, which lets batched fill loops (NormFill,
+// IntnFill) keep the generator state in registers instead of paying a
+// call and four memory round-trips per draw like Uint64 does.
+func xoshiroNext(s0, s1, s2, s3 uint64) (u, t0, t1, t2, t3 uint64) {
+	u = rotl(s1*5, 7) * 9
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	s3 = rotl(s3, 45)
+	return u, s0, s1, s2, s3
+}
+
+// Uint64 returns the next 64 uniformly distributed bits. The rotations
+// are spelled as shift-or pairs rather than rotl calls to keep the
+// function within the inlining budget: every uniform draw in the system
+// funnels through here, so a call frame per draw is measurable.
 func (r *Rand) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
+	m := r.s[1] * 5
+	result := (m<<7 | m>>57) * 9
 	t := r.s[1] << 17
 	r.s[2] ^= r.s[0]
 	r.s[3] ^= r.s[1]
 	r.s[1] ^= r.s[2]
 	r.s[0] ^= r.s[3]
 	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
+	x := r.s[3]
+	r.s[3] = x<<45 | x>>19
 	return result
 }
 
@@ -167,53 +188,145 @@ func init() {
 	}
 }
 
+// signOf extracts the ziggurat sign decision (bit 7 of the raw draw) as
+// a float64 sign bit, and applySign stamps it onto a non-negative x.
+// OR-ing the sign bit is exact negation for x >= 0 (including -0.0), so
+// the result is bit-identical to `if neg { x = -x }` without the
+// 50%-taken branch the hardware cannot predict.
+func signOf(u uint64) uint64 { return (u & znLayers) << 56 }
+func applySign(x float64, s uint64) float64 {
+	return math.Float64frombits(math.Float64bits(x) | s)
+}
+
 // NormFloat64 returns a standard normal variate using the ziggurat
 // method. One uniform draw suffices ~97% of the time, which matters
 // because value perturbation calls this once per uncertain point per
 // resample (the hottest loop in the system).
+//
+// The accept test x < znX[L] covers every layer: for L > 0 it is the
+// slab-interior test, and znX[0] = znR makes it the base-layer test too,
+// so the hot path runs branch-free up to the single accept compare.
 func (r *Rand) NormFloat64() float64 {
 	for {
-		u := r.Uint64()
+		// The xoshiro step (Uint64) is expanded by hand: it exceeds the
+		// compiler's inlining budget, and this is the hottest call site in
+		// the system — one draw per uncertain point per resample.
+		s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+		m := s1 * 5
+		u := (m<<7 | m>>57) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3<<45|s3>>19
 		L := int(u & (znLayers - 1)) // layer index: low 7 bits
-		neg := u&znLayers != 0       // sign: bit 7
 		// Bits 11..63 form the uniform; they do not overlap the 8 bits
-		// used above.
+		// used above (sign: bit 7).
 		x := float64(u>>11) / (1 << 53) * znW[L]
+		if x < znX[L] {
+			return applySign(x, signOf(u))
+		}
 		if L > 0 {
-			// Slab j = L−1. Inside the curve for sure when x < x[j+1].
-			if x < znX[L] {
-				if neg {
-					return -x
-				}
-				return x
-			}
 			// Wedge between the slab box and the curve.
 			if znF[L-1]+(znF[L]-znF[L-1])*r.Float64() < math.Exp(-0.5*x*x) {
-				if neg {
-					return -x
-				}
-				return x
+				return applySign(x, signOf(u))
 			}
 			continue
-		}
-		if x < znR {
-			if neg {
-				return -x
-			}
-			return x
 		}
 		// Tail beyond znR: Marsaglia's exponential wedge.
 		for {
 			ex := -math.Log(nonZero(r.Float64())) / znR
 			ey := -math.Log(nonZero(r.Float64()))
 			if ey+ey >= ex*ex {
-				if neg {
-					return -(znR + ex)
-				}
-				return znR + ex
+				return applySign(znR+ex, signOf(u))
 			}
 		}
 	}
+}
+
+// NormFill fills dst with standard normal variates, consuming the stream
+// exactly as len(dst) consecutive NormFloat64 calls would: same draws in
+// the same order, bit-identical outputs. The ziggurat is unrolled here
+// with the xoshiro state held in locals for the whole loop, so the
+// common quick-accept path runs without any function calls or stores to
+// r.s — this is the batched form the SoA perturbation kernels use for
+// runs of symmetric points.
+func (r *Rand) NormFill(dst []float64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		for {
+			var u uint64
+			u, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+			L := int(u & (znLayers - 1))
+			x := float64(u>>11) / (1 << 53) * znW[L]
+			if x < znX[L] {
+				// znX[0] = znR, so this accepts on every layer; the
+				// branchless sign stamp avoids the unpredictable
+				// negate branch (see applySign).
+				dst[i] = applySign(x, signOf(u))
+				break
+			}
+			if L > 0 {
+				// Wedge between the slab box and the curve: one extra
+				// uniform, same position in the stream as the Float64
+				// call in NormFloat64.
+				var w uint64
+				w, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+				wu := float64(w>>11) / (1 << 53)
+				if znF[L-1]+(znF[L]-znF[L-1])*wu < math.Exp(-0.5*x*x) {
+					dst[i] = applySign(x, signOf(u))
+					break
+				}
+				continue
+			}
+			// Tail beyond znR: Marsaglia's exponential wedge, two
+			// uniforms per attempt.
+			done := false
+			for !done {
+				var a, b uint64
+				a, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+				b, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+				ex := -math.Log(nonZero(float64(a>>11)/(1<<53))) / znR
+				ey := -math.Log(nonZero(float64(b>>11) / (1 << 53)))
+				if ey+ey >= ex*ex {
+					dst[i] = applySign(znR+ex, signOf(u))
+					done = true
+				}
+			}
+			break
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// IntnFill fills dst with uniform values in [0, n), consuming the stream
+// exactly as len(dst) consecutive Intn(n) calls would. Like NormFill it
+// keeps the generator state in locals across the loop; bootstrap index
+// generation (set and sequence resampling) draws one bounded integer per
+// point per sample, so the per-call overhead is measurable there.
+// It panics if n <= 0.
+func (r *Rand) IntnFill(dst []int, n int) {
+	if n <= 0 {
+		panic("rng: IntnFill called with n <= 0")
+	}
+	un := uint64(n)
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		var v uint64
+		v, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+		hi, lo := mul64(v, un)
+		if lo < un {
+			threshold := -un % un
+			for lo < threshold {
+				v, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+				hi, lo = mul64(v, un)
+			}
+		}
+		dst[i] = int(hi)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
 }
 
 func nonZero(u float64) float64 {

@@ -238,6 +238,76 @@ func TestMul64MatchesBigMultiplication(t *testing.T) {
 	}
 }
 
+func TestNormFillMatchesSequentialDraws(t *testing.T) {
+	// NormFill must consume the stream exactly like consecutive
+	// NormFloat64 calls: identical outputs bit-for-bit AND identical
+	// generator state afterwards (so interleaving batched and scalar
+	// draws cannot diverge). Many seeds and lengths so the wedge and
+	// tail rejection paths are exercised, not just quick-accept.
+	for seed := uint64(0); seed < 50; seed++ {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			a, b := New(seed), New(seed)
+			got := make([]float64, n)
+			a.NormFill(got)
+			for i := 0; i < n; i++ {
+				want := b.NormFloat64()
+				if got[i] != want {
+					t.Fatalf("seed %d n %d: NormFill[%d] = %v, NormFloat64 = %v",
+						seed, n, i, got[i], want)
+				}
+			}
+			if a.s != b.s {
+				t.Fatalf("seed %d n %d: generator state diverged after fill", seed, n)
+			}
+		}
+	}
+}
+
+func TestNormFillHitsTail(t *testing.T) {
+	// Sanity: a long fill actually produces variates beyond the base
+	// layer edge, proving the unrolled tail path runs.
+	r := New(99)
+	dst := make([]float64, 200000)
+	r.NormFill(dst)
+	for _, x := range dst {
+		if math.Abs(x) > znR {
+			return
+		}
+	}
+	t.Fatalf("no tail variate beyond %v in %d draws", znR, len(dst))
+}
+
+func TestIntnFillMatchesSequentialDraws(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		// Include small and non-power-of-two bounds to exercise
+		// Lemire's rejection loop.
+		for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+			a, b := New(seed), New(seed)
+			got := make([]int, 257)
+			a.IntnFill(got, n)
+			for i := range got {
+				want := b.Intn(n)
+				if got[i] != want {
+					t.Fatalf("seed %d n %d: IntnFill[%d] = %d, Intn = %d",
+						seed, n, i, got[i], want)
+				}
+			}
+			if a.s != b.s {
+				t.Fatalf("seed %d n %d: generator state diverged after fill", seed, n)
+			}
+		}
+	}
+}
+
+func TestIntnFillPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntnFill(dst, 0) did not panic")
+		}
+	}()
+	New(1).IntnFill(make([]int, 4), 0)
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {
@@ -249,5 +319,24 @@ func BenchmarkNormFloat64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {
 		_ = r.NormFloat64()
+	}
+}
+
+func BenchmarkNormFill(b *testing.B) {
+	r := New(1)
+	dst := make([]float64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.NormFill(dst)
+	}
+	b.SetBytes(0)
+}
+
+func BenchmarkIntnFill(b *testing.B) {
+	r := New(1)
+	dst := make([]int, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.IntnFill(dst, 64)
 	}
 }

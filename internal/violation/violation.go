@@ -126,6 +126,15 @@ type Analyzer struct {
 	seed uint64
 	// scratch is the reusable window-tuple buffer for what-if evaluations.
 	scratch []series.Series
+	// ext caches SoA extractions of the violated tuple's input windows,
+	// keyed by window identity (extFor): the counterfactual re-evaluations
+	// of E2–E5 replace one input at a time, so the k−1 unchanged inputs
+	// prime the evaluator's resampling kernels through views into these
+	// shared extractions instead of re-extracting per what-if. views is
+	// the per-call view scratch.
+	ext    []resample.Extraction
+	extFor []series.Series
+	views  []resample.View
 }
 
 // downsampleSalt separates the Downsample RNG stream of a window from the
@@ -261,7 +270,48 @@ func (a *Analyzer) evalWith(c core.Constraint, cp ChangePoint, j int, replacemen
 	copy(ws, cp.Neg.Windows)
 	ws[j] = replacement
 	tuple := core.WindowTuple{Windows: ws, Start: cp.Neg.Start, End: cp.Neg.End, Index: cp.Neg.Index}
+	if k > 1 {
+		// Unary what-ifs replace their only window, leaving nothing to
+		// share; for k-ary checks the unchanged inputs evaluate through
+		// views into the cached extractions.
+		tuple.Ext = a.negViews(cp.Neg.Windows, j)
+	}
 	return a.eval.Evaluate(c, tuple).Outcome
+}
+
+// negViews returns per-slot views for a counterfactual on the violated
+// tuple with input j replaced: slot j stays a zero View (the evaluator
+// extracts the replacement itself), every other slot points into the
+// cached extraction of its unchanged window, (re)built only when the
+// window's identity differs from what the cache holds.
+func (a *Analyzer) negViews(neg []series.Series, j int) []resample.View {
+	k := len(neg)
+	if cap(a.ext) < k {
+		a.ext = make([]resample.Extraction, k)
+		a.extFor = make([]series.Series, k)
+		a.views = make([]resample.View, k)
+	}
+	a.ext = a.ext[:k]
+	a.extFor = a.extFor[:k]
+	views := a.views[:k]
+	for i, w := range neg {
+		if i == j {
+			views[i] = resample.View{}
+			continue
+		}
+		if !sameWindow(a.extFor[i], w) {
+			a.ext[i].Extract(w)
+			a.extFor[i] = w
+		}
+		views[i] = a.ext[i].View()
+	}
+	return views
+}
+
+// sameWindow reports slice identity (same start and length), the same
+// criterion the resampler uses to recognize a primed window.
+func sameWindow(a, b series.Series) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // checkE2: the violated window is sparser; would the satisfied window
