@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke benchjson
+.PHONY: all build vet test race check bench bench-smoke benchjson benchcmp
 
 all: check
 
@@ -29,8 +29,16 @@ bench:
 # bench-smoke executes each hot-path/ablation benchmark body a fixed
 # handful of times — correctness of the workloads, not timing.
 bench-smoke:
-	$(GO) test -bench='Evaluate|Draw|Kernel|Ablation|StreamCheck|Explain|Summarize' -benchtime=10x -run=^$$ .
+	$(GO) test -bench='Evaluate|Draw|Kernel|Ablation|StreamCheck|StreamThroughput|Explain|Summarize' -benchtime=10x -run=^$$ .
 
 # benchjson regenerates the machine-readable hot-path benchmark record.
 benchjson:
-	$(GO) run ./cmd/soundbench -benchjson BENCH_PR4.json
+	$(GO) run ./cmd/soundbench -benchjson BENCH_PR5.json
+
+# benchcmp diffs the two most recent benchmark records (BENCH_*.json in
+# version order) spec by spec: ns/op, allocs/op, and domain metrics.
+benchcmp:
+	@files=$$(ls BENCH_*.json 2>/dev/null | sort -V | tail -2); \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then echo "benchcmp: need two BENCH_*.json files, have: $$files"; exit 1; fi; \
+	$(GO) run ./cmd/soundbench -benchcmp $$1 $$2

@@ -111,6 +111,17 @@ func BenchmarkStreamCheck(b *testing.B) {
 	b.Run("tumbling", func(b *testing.B) { bench.StreamCheck(b, sound.TimeWindow{Size: 60}) })
 	b.Run("sliding", func(b *testing.B) { bench.StreamCheck(b, sound.TimeWindow{Size: 60, Slide: 30}) })
 	b.Run("count", func(b *testing.B) { bench.StreamCheck(b, sound.CountWindow{Size: 32}) })
+	b.Run("keyed", bench.StreamCheckKeyed)
+}
+
+// BenchmarkStreamThroughput measures end-to-end ingest throughput
+// (points/sec) through source → keyed window check → sink at several
+// transport batch sizes; batch1 is the degenerate unbatched transport.
+func BenchmarkStreamThroughput(b *testing.B) {
+	b.Run("batch1", func(b *testing.B) { bench.StreamThroughput(b, 1) })
+	b.Run("batch16", func(b *testing.B) { bench.StreamThroughput(b, 16) })
+	b.Run("batch64", func(b *testing.B) { bench.StreamThroughput(b, 64) })
+	b.Run("batch256", func(b *testing.B) { bench.StreamThroughput(b, 256) })
 }
 
 // BenchmarkExplain measures one change-point explanation (§V-B what-if

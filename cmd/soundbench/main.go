@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list        = fs.Bool("list", false, "list available experiments and exit")
 		benchjson   = fs.String("benchjson", "", "run the Evaluate*/Ablation* micro-benchmarks and write results as JSON to this file ('-' for stdout)")
 		benchfilter = fs.String("benchfilter", "", "only run benchmarks whose name contains this substring (with -benchjson)")
+		benchcmp    = fs.Bool("benchcmp", false, "compare two -benchjson files (old new) and print per-spec deltas")
 		cpu         = fs.Int("cpu", 0, "set GOMAXPROCS before running benchmarks (0 = leave as is); recorded per spec in the JSON output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +59,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(experiments.Names(), "\n"))
 		return 0
+	}
+
+	if *benchcmp {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "soundbench: -benchcmp needs exactly two JSON files: old new")
+			return 1
+		}
+		return runBenchCmp(fs.Arg(0), fs.Arg(1), stdout, stderr)
 	}
 
 	if *benchjson != "" {
@@ -151,6 +161,82 @@ func runBenchJSON(path, filter string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "soundbench: %v\n", err)
 		return 1
+	}
+	return 0
+}
+
+// runBenchCmp diffs two -benchjson reports spec by spec: ns/op and
+// allocs/op deltas for every benchmark present in both, plus any extra
+// domain metrics (points/sec, ns/event, ...) the spec reported. Specs
+// present in only one file are listed so a rename or new benchmark is
+// visible rather than silently dropped.
+func runBenchCmp(oldPath, newPath string, stdout, stderr io.Writer) int {
+	load := func(path string) (*benchReport, error) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r benchReport
+		if err := json.Unmarshal(buf, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &r, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "soundbench: %v\n", err)
+		return 1
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "soundbench: %v\n", err)
+		return 1
+	}
+
+	newByName := make(map[string]benchRecord, len(newRep.Benchmarks))
+	for _, rec := range newRep.Benchmarks {
+		newByName[rec.Name] = rec
+	}
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			return "    n/a"
+		}
+		return fmt.Sprintf("%+6.1f%%", (newV-oldV)/oldV*100)
+	}
+
+	fmt.Fprintf(stdout, "benchcmp %s -> %s\n", oldPath, newPath)
+	fmt.Fprintf(stdout, "%-36s %14s %14s %8s\n", "spec", "old ns/op", "new ns/op", "delta")
+	seen := make(map[string]bool, len(oldRep.Benchmarks))
+	for _, oldRec := range oldRep.Benchmarks {
+		seen[oldRec.Name] = true
+		newRec, ok := newByName[oldRec.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-36s %14.1f %14s %8s\n", oldRec.Name, oldRec.NsPerOp, "-", "gone")
+			continue
+		}
+		fmt.Fprintf(stdout, "%-36s %14.1f %14.1f %8s\n",
+			oldRec.Name, oldRec.NsPerOp, newRec.NsPerOp, pct(oldRec.NsPerOp, newRec.NsPerOp))
+		if oldRec.AllocsPerOp != newRec.AllocsPerOp {
+			fmt.Fprintf(stdout, "  %-34s %14d %14d %8s\n", "allocs/op",
+				oldRec.AllocsPerOp, newRec.AllocsPerOp,
+				pct(float64(oldRec.AllocsPerOp), float64(newRec.AllocsPerOp)))
+		}
+		metrics := make([]string, 0, len(oldRec.Extra))
+		for metric := range oldRec.Extra {
+			if _, ok := newRec.Extra[metric]; ok {
+				metrics = append(metrics, metric)
+			}
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			oldV, newV := oldRec.Extra[metric], newRec.Extra[metric]
+			fmt.Fprintf(stdout, "  %-34s %14.1f %14.1f %8s\n", metric, oldV, newV, pct(oldV, newV))
+		}
+	}
+	for _, newRec := range newRep.Benchmarks {
+		if !seen[newRec.Name] {
+			fmt.Fprintf(stdout, "%-36s %14s %14.1f %8s\n", newRec.Name, "-", newRec.NsPerOp, "new")
+		}
 	}
 	return 0
 }

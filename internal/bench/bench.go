@@ -44,6 +44,11 @@ func Specs() []Spec {
 		{"StreamCheck/tumbling", func(b *testing.B) { StreamCheck(b, sound.TimeWindow{Size: 60}) }},
 		{"StreamCheck/sliding", func(b *testing.B) { StreamCheck(b, sound.TimeWindow{Size: 60, Slide: 30}) }},
 		{"StreamCheck/count", func(b *testing.B) { StreamCheck(b, sound.CountWindow{Size: 32}) }},
+		{"StreamCheck/keyed", StreamCheckKeyed},
+		{"StreamThroughput/batch1", func(b *testing.B) { StreamThroughput(b, 1) }},
+		{"StreamThroughput/batch16", func(b *testing.B) { StreamThroughput(b, 16) }},
+		{"StreamThroughput/batch64", func(b *testing.B) { StreamThroughput(b, 64) }},
+		{"StreamThroughput/batch256", func(b *testing.B) { StreamThroughput(b, 256) }},
 		{"Draw/point/scalar", func(b *testing.B) { Draw(b, resample.Point, false) }},
 		{"Draw/point/kernel", func(b *testing.B) { Draw(b, resample.Point, true) }},
 		{"Draw/set/scalar", func(b *testing.B) { Draw(b, resample.Set, false) }},
@@ -213,6 +218,104 @@ func StreamCheck(b *testing.B, win sound.Windower) {
 		p.Flush(emit)
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(events)), "ns/event")
+}
+
+// StreamCheckKeyed measures the operator's frame path: the same keyed
+// tumbling-window workload as StreamCheck/tumbling, but delivered in
+// 64-event transport frames through ProcessFrame the way a batched
+// graph edge hands them over. Against StreamCheck/tumbling this prices
+// what frame-at-a-time ingestion saves inside the operator (shared group
+// lookups, deferred fire scans) on top of the engine's transport
+// savings.
+func StreamCheckKeyed(b *testing.B) {
+	ck := core.Check{
+		Name:        "range",
+		Constraint:  core.Range(0, 100),
+		SeriesNames: []string{"s"},
+		Window:      sound.TimeWindow{Size: 60},
+	}
+	factory, err := checker.NewStreamChecker(checker.StreamCheck{
+		Check:   ck,
+		Params:  core.Params{Credibility: 0.95, MaxSamples: 100},
+		Seed:    7,
+		Forward: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := [8]string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	events := make([]stream.Event, 4096)
+	for i := range events {
+		events[i] = stream.Event{Time: float64(i / 8), Key: keys[i%8], Value: 50, SigUp: 2, SigDown: 2}
+	}
+	const frameSize = 64
+	emit := func(stream.Event) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := factory()
+		fp := p.(stream.FrameProcessor)
+		for at := 0; at < len(events); at += frameSize {
+			fp.ProcessFrame(events[at:at+frameSize], emit)
+		}
+		p.Flush(emit)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(events)), "ns/event")
+}
+
+// StreamThroughput measures end-to-end ingest throughput through a real
+// graph — source → keyed stream-check operator (4 workers) → sink — at
+// the given transport batch size. The check itself (a tumbling range
+// check on certain data) is deliberately cheap so the spec prices the
+// transport: at batch size 1 every event pays a channel send per hop
+// plus per-event counter and metrics updates; larger batches amortize
+// all of it across the frame. The points/sec metric is the end-to-end
+// ingest rate the online checking path sustains.
+func StreamThroughput(b *testing.B, batchSize int) {
+	const nEvents = 1 << 14
+	ck := core.Check{
+		Name:        "range",
+		Constraint:  core.Range(0, 100),
+		SeriesNames: []string{"s"},
+		Window:      sound.TimeWindow{Size: 60},
+	}
+	factory, err := checker.NewStreamChecker(checker.StreamCheck{
+		Check:   ck,
+		Params:  core.Params{Credibility: 0.95, MaxSamples: 100},
+		Seed:    7,
+		Forward: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := [8]string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	g := stream.NewGraph()
+	g.SetBatchSize(batchSize)
+	src := g.AddSource("src", func(emit stream.EmitFunc) {
+		for i := 0; i < nEvents; i++ {
+			emit(stream.Event{Time: float64(i / 8), Key: keys[i%8], Value: 50})
+		}
+	})
+	chk := g.AddOperator("check", 4, factory)
+	sink := g.AddSink("sink", nil)
+	if err := g.ConnectKeyed(src, chk); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Connect(chk, sink); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Count("sink") != nEvents {
+			b.Fatalf("sink saw %d events, want %d", m.Count("sink"), nEvents)
+		}
+	}
+	b.ReportMetric(float64(b.N)*nEvents/b.Elapsed().Seconds(), "points/sec")
 }
 
 // trendWindow builds an n-point window with a linear trend plus a small

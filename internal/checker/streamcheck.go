@@ -151,9 +151,18 @@ func NewStreamChecker(cfg StreamCheck) (func() stream.Processor, error) {
 		}
 		route = ByEventKey()
 	}
+	// workerSeq hands evaluator seed slots to workers in the order they
+	// first *evaluate*, not the order their Processor instances are
+	// created: a worker whose keyed partition never receives an event
+	// never claims a slot. Runs whose events all land on one worker (a
+	// single route group, say) are therefore bit-identical for every
+	// worker count and batch size — the idle workers that a higher
+	// parallelism adds cannot shift the active worker's seed.
 	var workerSeq atomic.Uint64
 	return func() stream.Processor {
-		c := &streamChecker{
+		return &streamChecker{
+			plan:    plan,
+			seq:     &workerSeq,
 			check:   plan.Check(),
 			asg:     asg,
 			arity:   arity,
@@ -163,10 +172,6 @@ func NewStreamChecker(cfg StreamCheck) (func() stream.Processor, error) {
 			route:   route,
 			groups:  map[string]*groupState{},
 		}
-		if !cfg.Naive {
-			c.eval = plan.NewEvaluator(workerSeq.Add(1) * 0x9e3779b9)
-		}
-		return c
 	}, nil
 }
 
@@ -216,15 +221,22 @@ func NewBinarySideChecker(ck core.Check, keyA, keyB string, params core.Params, 
 // partitioning guarantees a group's events reach one worker, so the
 // per-group state needs no locking.
 type streamChecker struct {
+	plan    *core.CheckPlan
+	seq     *atomic.Uint64
 	check   core.Check
 	asg     core.WindowAssigner
 	arity   int
-	eval    *core.Evaluator
+	eval    *core.Evaluator // created lazily on the worker's first evaluation
 	naive   bool
 	forward bool
 	out     *StreamOutcomes
 	route   RouteFunc
 	groups  map[string]*groupState
+	// lastKey/lastG cache the most recent group lookup: events arrive in
+	// key runs (especially frame-at-a-time on keyed edges), so most
+	// lookups hit the cache instead of the map.
+	lastKey string
+	lastG   *groupState
 	// Reusable scratch keeps the per-event hot path allocation-free.
 	pointBuf series.Series
 	winBuf   [1]series.Series
@@ -286,11 +298,15 @@ type groupState struct {
 }
 
 func (c *streamChecker) group(key string) *groupState {
+	if c.lastG != nil && c.lastKey == key {
+		return c.lastG
+	}
 	g := c.groups[key]
 	if g == nil {
 		g = &groupState{}
 		c.groups[key] = g
 	}
+	c.lastKey, c.lastG = key, g
 	return g
 }
 
@@ -306,6 +322,30 @@ func (c *streamChecker) Process(ev stream.Event, emit stream.EmitFunc) {
 	if c.forward {
 		emit(ev) // pass-through first: the nominal pipeline is not delayed by buffering
 	}
+	c.ingest(ev)
+}
+
+// ProcessFrame implements stream.FrameProcessor: the whole transport
+// frame is forwarded and then ingested in one pass. Events are still
+// routed and window-checked one by one — a later event in the frame may
+// only be admissible because an earlier one fired a window — but the
+// per-frame loop shares the group-lookup cache across the frame's key
+// runs and fires due windows with the deferred bulk scan in ingest, so
+// the outcome sequence is identical to calling Process per event.
+func (c *streamChecker) ProcessFrame(evs []stream.Event, emit stream.EmitFunc) {
+	if c.forward {
+		for i := range evs {
+			emit(evs[i])
+		}
+	}
+	for i := range evs {
+		c.ingest(evs[i])
+	}
+}
+
+// ingest routes one event into its window group. It is the shared body
+// of Process and ProcessFrame.
+func (c *streamChecker) ingest(ev stream.Event) {
 	input, key, ok := c.route(ev)
 	if !ok || input < 0 || input >= c.arity {
 		return
@@ -398,7 +438,16 @@ func (c *streamChecker) processTime(key string, input int, p series.Point) {
 	if p.T > g.watermark {
 		g.watermark = p.T
 	}
-	c.fireDueTimeWindows(g, false)
+	// Only run the fire scan when the watermark has actually closed the
+	// earliest un-fired window — the same end <= watermark comparison the
+	// scan's loop would make before bailing out. Between fires, appends
+	// are O(1): buffer sorting and extraction sync are deferred to the
+	// next fire, where the reorder check and ExtendFrom/Extract rebuild
+	// produce the identical extraction state in bulk (frame-at-a-time
+	// when frames arrive batched) instead of once per event.
+	if g.nextStart+c.asg.Size <= g.watermark {
+		c.fireDueTimeWindows(g, false)
+	}
 }
 
 // fireDueTimeWindows evaluates, in grid order, every window the group's
@@ -616,6 +665,11 @@ func (c *streamChecker) evaluate(tuple core.WindowTuple) {
 	if c.naive {
 		o = core.EvaluateNaive(c.check.Constraint, tuple)
 	} else {
+		if c.eval == nil {
+			// First evaluation claims this worker's seed slot (see the
+			// workerSeq comment in NewStreamChecker).
+			c.eval = c.plan.NewEvaluator(c.seq.Add(1) * 0x9e3779b9)
+		}
 		o = c.eval.Evaluate(c.check.Constraint, tuple).Outcome
 	}
 	if c.out != nil {

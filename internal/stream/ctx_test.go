@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -61,6 +62,88 @@ func TestRunContextCancelTerminates(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestRunContextCancelMidFrame cancels a run while workers hold
+// partially filled output frames: the batch size is far larger than the
+// number of events in flight at any moment, so at cancellation time the
+// operator's outbox buffers are mid-fill and frames are blocked on tiny
+// full channels. The run must still return ctx.Err() promptly with no
+// goroutine leaks — the flush-on-close path must not block on a dead
+// downstream.
+func TestRunContextCancelMidFrame(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		batch     int
+		chanSize  int
+		opDelay   time.Duration
+		sinkDelay time.Duration
+	}{
+		// Large batch, tiny channels, slow operator: the source blocks on
+		// a full partition channel while its other partition buffer is
+		// half-filled, and the cancelled workers abandon those frames.
+		{"partial-buffers", 1024, 4, 100 * time.Microsecond, 0},
+		// Tiny batch and channels with a slow sink: senders block on full
+		// partition channels while later events wait in half-full frames.
+		{"blocked-sends", 4, 1, 0, 200 * time.Microsecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+
+			g := NewGraph()
+			g.SetBatchSize(tc.batch)
+			g.SetChannelSize(tc.chanSize)
+			src := g.AddSource("infinite", func(emit EmitFunc) {
+				for i := 0; ; i++ {
+					emit(Event{Time: float64(i), Key: fmt.Sprintf("k%d", i%5), Value: 1})
+				}
+			})
+			op := g.AddMap("slow", 2, func(ev Event, emit EmitFunc) {
+				if tc.opDelay > 0 {
+					time.Sleep(tc.opDelay)
+				}
+				emit(ev)
+			})
+			sink := g.AddSink("sink", func(Event) {
+				if tc.sinkDelay > 0 {
+					time.Sleep(tc.sinkDelay)
+				}
+			})
+			if err := g.ConnectKeyed(src, op); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Connect(op, sink); err != nil {
+				t.Fatal(err)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := g.RunContext(ctx)
+				done <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("RunContext error = %v, want context.Canceled", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("RunContext did not terminate after mid-frame cancellation")
+			}
+
+			deadline := time.Now().Add(2 * time.Second)
+			for time.Now().Before(deadline) {
+				if runtime.NumGoroutine() <= before {
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		})
+	}
 }
 
 // TestRunContextPreCancelled must not start work at all.

@@ -36,20 +36,34 @@ func newMetrics() *Metrics {
 func (m *Metrics) start() { m.began = time.Now() }
 func (m *Metrics) stop()  { m.ended = time.Now() }
 
-func (m *Metrics) record(sink string, ev Event) {
+// recordFrame folds a whole transport frame into the sink's metrics
+// under a single lock acquisition and a single clock read: counts and
+// throughput buckets advance by the frame length at once, and latency
+// sampling walks the frame with the same every-sampleN-th cadence the
+// per-event path used. This is the sink-side half of the micro-batched
+// transport: the measurement cost is per frame, not per event.
+func (m *Metrics) recordFrame(sink string, evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
 	now := time.Now()
 	m.mu.Lock()
-	m.counts[sink]++
+	m.counts[sink] += int64(len(evs))
 	b := m.buckets[sink]
 	if b == nil {
 		b = map[int64]int64{}
 		m.buckets[sink] = b
 	}
-	b[now.Sub(m.began).Nanoseconds()/m.bucketNS]++
-	m.seen[sink]++
-	if !ev.Created.IsZero() && m.seen[sink]%m.sampleN == 0 {
-		m.latency[sink] = append(m.latency[sink], now.Sub(ev.Created).Seconds())
+	// The frame arrived at one instant; all its events land in one bucket.
+	b[now.Sub(m.began).Nanoseconds()/m.bucketNS] += int64(len(evs))
+	seen := m.seen[sink]
+	for i := range evs {
+		seen++
+		if !evs[i].Created.IsZero() && seen%m.sampleN == 0 {
+			m.latency[sink] = append(m.latency[sink], now.Sub(evs[i].Created).Seconds())
+		}
 	}
+	m.seen[sink] = seen
 	m.mu.Unlock()
 }
 

@@ -8,6 +8,13 @@
 // on — source → chained operators → sink with 4 parallel worker slots —
 // so that the *relative* overhead of instrumenting sanity checks is
 // preserved even though absolute numbers differ from a Flink cluster.
+//
+// Transport is micro-batched: edges carry pooled []Event frames instead
+// of single events, so each channel operation, counter update, and
+// fan-out pass is amortized over up to SetBatchSize events — the record
+// batching Flink's network stack performs between task managers. Batch
+// size 1 degenerates to the one-event-per-send transport this engine
+// used before batching, through the same code path. See DESIGN.md §4g.
 package stream
 
 import (
@@ -44,6 +51,21 @@ type Processor interface {
 	Flush(emit EmitFunc)
 }
 
+// FrameProcessor is an optional extension of Processor: operators that
+// implement it receive whole transport frames and can amortize per-event
+// work (group lookups, buffer growth) across the frame. The events of a
+// frame arrive in the same order Process would have seen them, so a
+// FrameProcessor must behave exactly like the per-event loop
+//
+//	for i := range evs { p.Process(evs[i], emit) }
+//
+// and the engine treats the two as interchangeable.
+type FrameProcessor interface {
+	// ProcessFrame handles one transport frame. The slice is recycled
+	// after the call returns and must not be retained.
+	ProcessFrame(evs []Event, emit EmitFunc)
+}
+
 // ProcessorFunc adapts a stateless function to the Processor interface.
 type ProcessorFunc func(ev Event, emit EmitFunc)
 
@@ -73,8 +95,10 @@ type Node struct {
 	downstream  []*edge
 	inputs      int // number of upstream edges (for channel close accounting)
 	// emitted counts events sent downstream by this node (all workers).
+	// Workers accumulate shard-locally and fold in per frame flush.
 	emitted atomic.Int64
-	// processed counts events consumed by this node's workers.
+	// processed counts events consumed by this node's workers, folded in
+	// once per received frame.
 	processed atomic.Int64
 }
 
@@ -89,49 +113,171 @@ func (n *Node) Emitted() int64 { return n.emitted.Load() }
 // during the last Run (0 for sources).
 func (n *Node) Processed() int64 { return n.processed.Load() }
 
-// edge carries events from one node to the workers of the next.
+// frame is the transport unit: a batch of events moving across one edge
+// partition in emission order. Frames are pooled per run and recycled by
+// the receiving worker.
+type frame = []Event
+
+// edge carries event frames from one node to the workers of the next.
 type edge struct {
 	to    *Node
 	keyed bool
 	// chans has one channel per target worker when keyed, else a single
 	// shared channel consumed by all target workers.
-	chans []chan Event
+	chans []chan frame
 	seed  maphash.Seed
 }
 
-// send delivers the event, or reports false if the run was aborted while
-// the send was blocked on a full channel — the case that used to
-// deadlock a cancelled graph.
-func (e *edge) send(ev Event, done <-chan struct{}) bool {
-	ch := e.chans[0]
-	if e.keyed {
-		var h maphash.Hash
-		h.SetSeed(e.seed)
-		h.WriteString(ev.Key)
-		ch = e.chans[h.Sum64()%uint64(len(e.chans))]
+// partition returns the index of the channel that must carry events with
+// the given key, so all events of one key reach the same worker.
+func (e *edge) partition(key string) int {
+	if !e.keyed || len(e.chans) == 1 {
+		return 0
 	}
+	return int(maphash.String(e.seed, key) % uint64(len(e.chans)))
+}
+
+// sendFrame delivers a full or final frame, or reports false if the run
+// was aborted while the send was blocked on a full channel — the case
+// that used to deadlock a cancelled graph.
+func (e *edge) sendFrame(part int, fr frame, done <-chan struct{}) bool {
 	select {
-	case ch <- ev:
+	case e.chans[part] <- fr:
 		return true
 	case <-done:
 		return false
 	}
 }
 
+// framePool recycles transport frames between receivers (which drain
+// them) and senders (which refill them), so a steady-state run allocates
+// no per-frame buffers.
+type framePool struct {
+	pool sync.Pool
+	size int
+}
+
+func newFramePool(size int) *framePool {
+	return &framePool{size: size}
+}
+
+func (fp *framePool) get() frame {
+	if v := fp.pool.Get(); v != nil {
+		return (*v.(*frame))[:0]
+	}
+	return make(frame, 0, fp.size)
+}
+
+func (fp *framePool) put(fr frame) {
+	if cap(fr) == 0 {
+		return
+	}
+	fr = fr[:0]
+	fp.pool.Put(&fr)
+}
+
+// outbox is one worker's private emit state: per-edge, per-partition
+// output buffers that flush as frames when full and on worker
+// completion, plus a shard-local emitted counter folded into the node's
+// atomic once per flush instead of once per event.
+type outbox struct {
+	n       *Node
+	batch   int
+	pool    *framePool
+	done    <-chan struct{}
+	bufs    [][]frame // [edge][partition] partial frame being filled
+	emitted int64
+}
+
+func newOutbox(n *Node, batch int, pool *framePool, done <-chan struct{}) *outbox {
+	ob := &outbox{n: n, batch: batch, pool: pool, done: done}
+	ob.bufs = make([][]frame, len(n.downstream))
+	for i, e := range n.downstream {
+		ob.bufs[i] = make([]frame, len(e.chans))
+	}
+	return ob
+}
+
+// emit is the worker's EmitFunc: append to the per-partition buffer and
+// ship a frame downstream only when batchSize events accumulated. Within
+// one (sender, partition) pair, events stay in emission order, so keyed
+// consumers observe the exact per-key sequence the unbatched transport
+// delivered.
+func (ob *outbox) emit(ev Event) {
+	ob.emitted++
+	for i, e := range ob.n.downstream {
+		part := e.partition(ev.Key)
+		buf := ob.bufs[i][part]
+		if buf == nil {
+			buf = ob.pool.get()
+		}
+		buf = append(buf, ev)
+		if len(buf) >= ob.batch {
+			if !e.sendFrame(part, buf, ob.done) {
+				ob.bufs[i][part] = nil
+				panic(runAborted{})
+			}
+			buf = nil
+		}
+		ob.bufs[i][part] = buf
+	}
+}
+
+// flush ships every partially filled buffer downstream — the
+// flush-on-close path that keeps the final events of a stream from being
+// stranded. It runs after the worker's Flush, before the worker releases
+// its sender slots (so channels close only after the last partial frame
+// is in flight). An aborted run stops flushing but keeps unwinding.
+func (ob *outbox) flush() {
+	for i, e := range ob.n.downstream {
+		for part, buf := range ob.bufs[i] {
+			ob.bufs[i][part] = nil
+			if len(buf) == 0 {
+				continue
+			}
+			if !e.sendFrame(part, buf, ob.done) {
+				return
+			}
+		}
+	}
+}
+
+// fold merges the shard-local emitted count into the node's counter. It
+// runs deferred so the count survives an aborted worker too.
+func (ob *outbox) fold() {
+	ob.n.emitted.Add(ob.emitted)
+	ob.emitted = 0
+}
+
 // Graph is a dataflow topology under construction.
 type Graph struct {
-	nodes    []*Node
-	chanSize int
+	nodes     []*Node
+	chanSize  int
+	batchSize int
 }
 
 // NewGraph returns an empty graph. Channel capacity defaults to 256
-// events per edge partition.
-func NewGraph() *Graph { return &Graph{chanSize: 256} }
+// frames per edge partition; transport batch size defaults to 64 events
+// per frame.
+func NewGraph() *Graph { return &Graph{chanSize: 256, batchSize: 64} }
 
-// SetChannelSize overrides the per-partition channel capacity.
+// SetChannelSize overrides the per-partition channel capacity (counted
+// in frames).
 func (g *Graph) SetChannelSize(n int) {
 	if n > 0 {
 		g.chanSize = n
+	}
+}
+
+// SetBatchSize overrides the transport batch size: the number of events
+// accumulated per output buffer before a frame is shipped downstream.
+// Size 1 reproduces unbatched per-event delivery exactly (every frame
+// carries one event); larger sizes amortize channel sends, counter
+// updates, and fan-out over the frame. Within-key delivery order is
+// identical for every batch size.
+func (g *Graph) SetBatchSize(n int) {
+	if n > 0 {
+		g.batchSize = n
 	}
 }
 
@@ -208,14 +354,16 @@ func (g *Graph) Run() (*Metrics, error) { return g.RunContext(context.Background
 
 // RunContext executes the graph under the context. Cancelling the
 // context aborts the run — sources, workers, and sinks unwind even when
-// blocked on full or empty channels, so no goroutines leak — and
-// RunContext returns ctx.Err(). A panicking processor likewise aborts
-// the whole graph and surfaces as an error instead of a deadlock.
+// blocked on full or empty channels or holding half-filled output
+// frames, so no goroutines leak — and RunContext returns ctx.Err(). A
+// panicking processor likewise aborts the whole graph and surfaces as an
+// error instead of a deadlock.
 func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
 	}
 	m := newMetrics()
+	pool := newFramePool(g.batchSize)
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -251,9 +399,9 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 			if e.keyed {
 				parts = e.to.parallelism
 			}
-			e.chans = make([]chan Event, parts)
+			e.chans = make([]chan frame, parts)
 			for i := range e.chans {
-				e.chans[i] = make(chan Event, g.chanSize)
+				e.chans[i] = make(chan frame, g.chanSize)
 			}
 		}
 	}
@@ -262,7 +410,7 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 	// Per-node input close accounting: when all upstream edges are done,
 	// the node's input channels close.
 	type inbox struct {
-		chans []chan Event // channels this node's workers read
+		chans []chan frame // channels this node's workers read
 	}
 	inboxes := map[*Node]*inbox{}
 	for _, n := range g.nodes {
@@ -270,7 +418,7 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 			continue
 		}
 		ib := &inbox{}
-		seen := map[chan Event]bool{}
+		seen := map[chan frame]bool{}
 		// Collect channels from all edges targeting n.
 		for _, up := range g.nodes {
 			for _, e := range up.downstream {
@@ -290,7 +438,7 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 
 	// Track, per channel, how many senders feed it so it can be closed
 	// when they all finish.
-	senders := map[chan Event]*sync.WaitGroup{}
+	senders := map[chan frame]*sync.WaitGroup{}
 	for _, n := range g.nodes {
 		for _, e := range n.downstream {
 			for _, c := range e.chans {
@@ -306,24 +454,13 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 	var closers sync.WaitGroup
 	for c, swg := range senders {
 		closers.Add(1)
-		go func(c chan Event, swg *sync.WaitGroup) {
+		go func(c chan frame, swg *sync.WaitGroup) {
 			defer closers.Done()
 			swg.Wait()
 			close(c)
 		}(c, swg)
 	}
 
-	emitFor := func(n *Node) EmitFunc {
-		edges := n.downstream
-		return func(ev Event) {
-			n.emitted.Add(1)
-			for _, e := range edges {
-				if !e.send(ev, done) {
-					panic(runAborted{})
-				}
-			}
-		}
-	}
 	doneFor := func(n *Node) func() {
 		return func() {
 			for _, e := range n.downstream {
@@ -349,7 +486,12 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 			go func() {
 				defer wg.Done()
 				defer doneFor(n)()
-				guard(n.name, func() { n.gen(emitFor(n)) })
+				guard(n.name, func() {
+					ob := newOutbox(n, g.batchSize, pool, done)
+					defer ob.fold()
+					n.gen(ob.emit)
+					ob.flush()
+				})
 			}()
 		case kindOperator:
 			ib := inboxes[n]
@@ -369,17 +511,19 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 					defer doneFor(n)()
 					guard(n.name, func() {
 						proc := n.newProc()
-						emit := emitFor(n)
+						ob := newOutbox(n, g.batchSize, pool, done)
+						defer ob.fold()
 						// Keyed inputs dedicate channel w to worker w;
 						// shared inputs are consumed cooperatively.
-						var mine []chan Event
+						var mine []chan frame
 						for _, c := range ib.chans {
 							mine = append(mine, c)
 						}
 						if keyedInbox(g, n) {
 							mine = pickWorkerChans(g, n, w)
 						}
-						consume(n, mine, proc, emit, done)
+						consume(n, mine, proc, ob.emit, done, pool)
+						ob.flush()
 					})
 				}()
 			}
@@ -389,7 +533,7 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 			go func() {
 				defer wg.Done()
 				guard(n.name, func() {
-					sinkConsume(n, ib.chans, n.sinkFn, m, n.name, done)
+					sinkConsume(n, ib.chans, n.sinkFn, m, n.name, done, pool)
 				})
 			}()
 		}
@@ -424,8 +568,8 @@ func keyedInbox(g *Graph, n *Node) bool {
 
 // pickWorkerChans returns the channels assigned to worker w of node n
 // across all keyed input edges.
-func pickWorkerChans(g *Graph, n *Node, w int) []chan Event {
-	var out []chan Event
+func pickWorkerChans(g *Graph, n *Node, w int) []chan frame {
+	var out []chan frame
 	for _, up := range g.nodes {
 		for _, e := range up.downstream {
 			if e.to == n && e.keyed && w < len(e.chans) {
@@ -436,65 +580,78 @@ func pickWorkerChans(g *Graph, n *Node, w int) []chan Event {
 	return out
 }
 
-// consume drains the channels (merged) through the processor, flushing
-// at end of stream. An aborted run skips the flush: its output would be
-// partial and its sends could block.
-func consume(n *Node, chans []chan Event, proc Processor, emit EmitFunc, done <-chan struct{}) {
+// consume drains the channels (merged) through the processor frame by
+// frame, flushing at end of stream. Received frames are recycled into
+// the pool after processing. An aborted run skips the flush: its output
+// would be partial and its sends could block.
+func consume(n *Node, chans []chan frame, proc Processor, emit EmitFunc, done <-chan struct{}, pool *framePool) {
+	fp, frameAware := proc.(FrameProcessor)
 	merged := merge(chans, done)
 	for {
 		select {
-		case ev, ok := <-merged:
+		case fr, ok := <-merged:
 			if !ok {
 				proc.Flush(emit)
 				return
 			}
-			n.processed.Add(1)
-			proc.Process(ev, emit)
+			n.processed.Add(int64(len(fr)))
+			if frameAware {
+				fp.ProcessFrame(fr, emit)
+			} else {
+				for i := range fr {
+					proc.Process(fr[i], emit)
+				}
+			}
+			pool.put(fr)
 		case <-done:
 			panic(runAborted{})
 		}
 	}
 }
 
-func sinkConsume(n *Node, chans []chan Event, fn func(Event), m *Metrics, sink string, done <-chan struct{}) {
+func sinkConsume(n *Node, chans []chan frame, fn func(Event), m *Metrics, sink string, done <-chan struct{}, pool *framePool) {
 	merged := merge(chans, done)
 	for {
 		select {
-		case ev, ok := <-merged:
+		case fr, ok := <-merged:
 			if !ok {
 				return
 			}
-			n.processed.Add(1)
-			m.record(sink, ev)
+			n.processed.Add(int64(len(fr)))
+			m.recordFrame(sink, fr)
 			if fn != nil {
-				fn(ev)
+				for i := range fr {
+					fn(fr[i])
+				}
 			}
+			pool.put(fr)
 		case <-done:
 			panic(runAborted{})
 		}
 	}
 }
 
-// merge fans multiple channels into one, abandoning the fan-in when the
-// run aborts so the helper goroutines never block on a dead consumer.
-func merge(chans []chan Event, done <-chan struct{}) <-chan Event {
+// merge fans multiple frame channels into one, abandoning the fan-in
+// when the run aborts so the helper goroutines never block on a dead
+// consumer.
+func merge(chans []chan frame, done <-chan struct{}) <-chan frame {
 	if len(chans) == 1 {
 		return chans[0]
 	}
-	out := make(chan Event, 64)
+	out := make(chan frame, 16)
 	var wg sync.WaitGroup
 	for _, c := range chans {
 		wg.Add(1)
-		go func(c chan Event) {
+		go func(c chan frame) {
 			defer wg.Done()
 			for {
 				select {
-				case ev, ok := <-c:
+				case fr, ok := <-c:
 					if !ok {
 						return
 					}
 					select {
-					case out <- ev:
+					case out <- fr:
 					case <-done:
 						return
 					}

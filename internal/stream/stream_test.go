@@ -374,6 +374,120 @@ func TestBackpressureBoundedChannels(t *testing.T) {
 	}
 }
 
+// TestFrameAggregatedCountsParity pins the shard-local counter folding:
+// sink metrics and node counters are accumulated per frame (one lock or
+// atomic op per frame, not per event), and the final totals must be
+// identical to per-event accounting for every batch size — including
+// the degenerate batch size 1 — with parallel keyed workers racing.
+// `make race` runs this under the race detector, which also proves the
+// per-frame merges are properly synchronized.
+func TestFrameAggregatedCountsParity(t *testing.T) {
+	const n = 20000
+	for _, batch := range []int{1, 3, 64, 1024} {
+		batch := batch
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			g := NewGraph()
+			g.SetBatchSize(batch)
+			src := g.AddSource("src", func(emit EmitFunc) {
+				for i := 0; i < n; i++ {
+					emit(Event{Time: float64(i), Key: fmt.Sprintf("k%d", i%31), Created: time.Now()})
+				}
+			})
+			op := g.AddMap("op", 4, func(ev Event, emit EmitFunc) { emit(ev) })
+			var sunk int64
+			sink := g.AddSink("sink", func(Event) { atomic.AddInt64(&sunk, 1) })
+			must(t, g.ConnectKeyed(src, op))
+			must(t, g.Connect(op, sink))
+			m, err := g.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sunk != n {
+				t.Errorf("sink fn saw %d events, want %d", sunk, n)
+			}
+			if got := m.Count("sink"); got != n {
+				t.Errorf("metrics count = %d, want %d", got, n)
+			}
+			if got := m.TotalCount(); got != n {
+				t.Errorf("metrics total = %d, want %d", got, n)
+			}
+			if src.Emitted() != n {
+				t.Errorf("src emitted = %d, want %d", src.Emitted(), n)
+			}
+			if op.Processed() != n || op.Emitted() != n {
+				t.Errorf("op counters = %d processed / %d emitted, want %d", op.Processed(), op.Emitted(), n)
+			}
+			if sink.Processed() != n {
+				t.Errorf("sink processed = %d, want %d", sink.Processed(), n)
+			}
+			// Latency sampling cadence is event-indexed, so the sample
+			// count is batch-size independent.
+			if got := len(m.Latencies("sink", 0)); got != n/16 {
+				t.Errorf("latency samples = %d, want %d", got, n/16)
+			}
+			// Bucketized throughput still reconstructs the event count.
+			var total float64
+			for _, p := range m.ThroughputOverTime("sink", 0) {
+				total += p.PerSecond * 0.1
+			}
+			if total < 0.99*n || total > 1.01*n {
+				t.Errorf("bucketized total = %v, want ~%d", total, n)
+			}
+		})
+	}
+}
+
+// TestFrameProcessorReceivesFrames verifies the engine hands whole
+// frames to FrameProcessor implementations and that frame delivery
+// covers every event exactly once.
+func TestFrameProcessorReceivesFrames(t *testing.T) {
+	const n = 1000
+	g := NewGraph()
+	g.SetBatchSize(16)
+	src := g.AddSource("src", func(emit EmitFunc) {
+		for i := 0; i < n; i++ {
+			emit(Event{Time: float64(i), Key: "k"})
+		}
+	})
+	fp := &frameCountingProc{}
+	op := g.AddOperator("frames", 1, func() Processor { return fp })
+	sink := g.AddSink("sink", nil)
+	must(t, g.ConnectKeyed(src, op))
+	must(t, g.Connect(op, sink))
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fp.events != n {
+		t.Errorf("frame processor saw %d events, want %d", fp.events, n)
+	}
+	if fp.perEvent != 0 {
+		t.Errorf("engine fell back to Process for %d events", fp.perEvent)
+	}
+	if want := (n + 15) / 16; fp.frames != want {
+		t.Errorf("frame processor saw %d frames, want %d", fp.frames, want)
+	}
+	if fp.maxFrame > 16 {
+		t.Errorf("frame of %d events exceeds batch size 16", fp.maxFrame)
+	}
+}
+
+type frameCountingProc struct {
+	frames, events, maxFrame, perEvent int
+}
+
+func (f *frameCountingProc) Process(ev Event, emit EmitFunc) { f.perEvent++; emit(ev) }
+func (f *frameCountingProc) ProcessFrame(evs []Event, emit EmitFunc) {
+	f.frames++
+	f.events += len(evs)
+	if len(evs) > f.maxFrame {
+		f.maxFrame = len(evs)
+	}
+	for i := range evs {
+		emit(evs[i])
+	}
+}
+func (f *frameCountingProc) Flush(EmitFunc) {}
+
 func BenchmarkEngineThroughput(b *testing.B) {
 	g := NewGraph()
 	src := g.AddSource("src", func(emit EmitFunc) {

@@ -152,6 +152,98 @@ func pinStream(t *testing.T) string {
 	return sb.String()
 }
 
+// loadPinFixture reads the gapped borderline series from the committed
+// CSV fixture and cross-checks it against the in-code generator, so the
+// fixture and pinSeries cannot drift apart silently.
+func loadPinFixture(t *testing.T) sound.Series {
+	t.Helper()
+	f, err := os.Open("testdata/gapped_borderline.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := sound.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pinSeries(40, 10)
+	if len(s) != len(want) {
+		t.Fatalf("fixture has %d points, pinSeries has %d", len(s), len(want))
+	}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("fixture point %d = %+v, pinSeries = %+v", i, s[i], want[i])
+		}
+	}
+	return s
+}
+
+// TestPinnedStreamBatchedGraphParity replays the gapped borderline CSV
+// fixture through the keyed stream checker inside a real graph at every
+// (transport batch size, worker count) combination and requires the
+// byte-identical outcome hashes pinned in pinnedStream — the same golden
+// strings the direct single-processor replay (TestPinnedStreamResults)
+// must match. Batch size 1 is the degenerate one-event-per-frame
+// transport, so this pins batched ≡ unbatched ≡ pre-batching bit for
+// bit. Worker counts > 1 stay deterministic because the single route
+// group lands on one worker and evaluator seed slots are claimed at
+// first evaluation, not at worker startup.
+func TestPinnedStreamBatchedGraphParity(t *testing.T) {
+	x := loadPinFixture(t)
+	for _, batch := range []int{1, 7, 64} {
+		for _, workers := range []int{1, 4} {
+			var sb strings.Builder
+			for _, tc := range []struct {
+				tag string
+				win sound.Windower
+			}{
+				{"sliding", sound.TimeWindow{Size: 12, Slide: 5}},
+				{"tumbling", sound.TimeWindow{Size: 9}},
+				{"count", sound.CountWindow{Size: 8, Slide: 3}},
+			} {
+				out := &checker.StreamOutcomes{}
+				factory, err := checker.NewStreamChecker(checker.StreamCheck{
+					Check: sound.Check{
+						Name: "range", Constraint: sound.FractionInRange(0, 13, 0.8),
+						SeriesNames: []string{"x"}, Window: tc.win,
+					},
+					Params:  sound.DefaultParams(),
+					Seed:    13,
+					Forward: true,
+					Out:     out,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				g := stream.NewGraph()
+				g.SetBatchSize(batch)
+				src := g.AddSource("csv", func(emit stream.EmitFunc) {
+					for _, pt := range x {
+						emit(stream.Event{Time: pt.T, Key: "k", Value: pt.V, SigUp: pt.SigUp, SigDown: pt.SigDown})
+					}
+				})
+				chk := g.AddOperator("check", workers, factory)
+				if err := g.ConnectKeyed(src, chk); err != nil {
+					t.Fatal(err)
+				}
+				if err := g.Connect(chk, g.AddSink("sink", nil)); err != nil {
+					t.Fatal(err)
+				}
+				m, err := g.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := m.Count("sink"); got != int64(len(x)) {
+					t.Fatalf("batch=%d workers=%d %s: sink saw %d events, want %d", batch, workers, tc.tag, got, len(x))
+				}
+				c := out.Counts()
+				fmt.Fprintf(&sb, "stream/%s sat=%d viol=%d inc=%d\n", tc.tag, c.Satisfied, c.Violated, c.Inconclusive)
+			}
+			diffLines(t, fmt.Sprintf("stream batch=%d workers=%d", batch, workers), sb.String(), pinnedStream)
+		}
+	}
+}
+
 // pinViolation runs the violation-analysis scenario: change points with
 // E2/E4 counterfactual re-evaluations, sequential and parallel.
 func pinViolation(t *testing.T) string {
