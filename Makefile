@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke benchjson benchcmp
+.PHONY: all build vet test race check bench bench-smoke benchjson benchcmp profile
 
 all: check
 
@@ -33,12 +33,17 @@ bench-smoke:
 
 # benchjson regenerates the machine-readable hot-path benchmark record.
 benchjson:
-	$(GO) run ./cmd/soundbench -benchjson BENCH_PR5.json
+	$(GO) run ./cmd/soundbench -benchjson BENCH_PR6.json
 
 # benchcmp diffs the two most recent benchmark records (BENCH_*.json in
-# version order) spec by spec: ns/op, allocs/op, and domain metrics.
+# natural version order) spec by spec — ns/op, allocs/op, and domain
+# metrics — and fails on any >20% ns/op regression. Override the
+# threshold with GATE (0 = report only).
+GATE ?= 20
 benchcmp:
-	@files=$$(ls BENCH_*.json 2>/dev/null | sort -V | tail -2); \
-	set -- $$files; \
-	if [ $$# -lt 2 ]; then echo "benchcmp: need two BENCH_*.json files, have: $$files"; exit 1; fi; \
-	$(GO) run ./cmd/soundbench -benchcmp $$1 $$2
+	$(GO) run ./cmd/soundbench -benchcmp -gate $(GATE)
+
+# profile records CPU and allocation profiles of the evaluator hot path
+# (the Evaluate* micro-benchmarks); inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/soundbench -benchjson /dev/null -benchfilter Evaluate -cpuprofile cpu.pprof -memprofile mem.pprof

@@ -412,6 +412,25 @@ func TestNewStreamCheckerRejects(t *testing.T) {
 	if _, err := NewStreamChecker(invalid); err == nil {
 		t.Error("invalid check accepted")
 	}
+
+	// Parameter validation must surface through the stream entry point
+	// exactly as through core.CompilePlan.
+	badParams := StreamCheck{
+		Check: core.Check{
+			Name:        "range",
+			Constraint:  core.Range(0, 1),
+			SeriesNames: []string{"s"},
+			Window:      core.TimeWindow{Size: 10},
+		},
+		Params: core.Params{CheckInterval: -1},
+	}
+	if _, err := NewStreamChecker(badParams); err == nil || !strings.Contains(err.Error(), "check interval") {
+		t.Errorf("negative check interval: err = %v", err)
+	}
+	badParams.Params = core.Params{MinSamples: 50, MaxSamples: 10}
+	if _, err := NewStreamChecker(badParams); err == nil || !strings.Contains(err.Error(), "burn-in") {
+		t.Errorf("burn-in beyond budget: err = %v", err)
+	}
 }
 
 // TestByKeyedInputs pins the composite-key parsing.
@@ -588,5 +607,51 @@ func TestBatchStreamParitySlidingSharedExtraction(t *testing.T) {
 				t.Errorf("%T %s: stream counts %+v != batch counts %+v", win, name, got, want)
 			}
 		}
+	}
+}
+
+// TestStreamKernelPinnedFixture pins the SOUND-mode (non-naive) stream
+// outcomes for the three statistic-heavy templates the compiled kernels
+// accelerate — Pearson correlation, R², and the two-sample KS distance —
+// on a deterministic uncertain binary stream. The counts are literals on
+// purpose: the kernel path must keep the evaluated trajectory
+// bit-identical to the closure path, so any drift here is a broken
+// RNG-consumption or decision-schedule invariant, not a tuning choice.
+func TestStreamKernelPinnedFixture(t *testing.T) {
+	var events []stream.Event
+	for i := 0; i < 64; i++ {
+		x := float64(i%16) + math.Sin(float64(i)/3)
+		y := 0.8*x + 1.5*math.Sin(float64(i)/2)
+		events = append(events,
+			stream.Event{Time: float64(i), Key: "x", Value: x, SigUp: 0.5, SigDown: 0.5},
+			stream.Event{Time: float64(i), Key: "y", Value: y, SigUp: 0.7, SigDown: 0.7},
+		)
+	}
+	cases := []struct {
+		name string
+		c    core.Constraint
+		want OutcomeCounts
+	}{
+		{"corr", core.CorrelationAbove(0.5), OutcomeCounts{Satisfied: 4}},
+		{"r2", core.RSquaredAbove(0), OutcomeCounts{Satisfied: 4}},
+		{"ks", core.KSDistanceBelow(0.35), OutcomeCounts{Satisfied: 2, Inconclusive: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ck := core.Check{
+				Name:        tc.name,
+				Constraint:  tc.c,
+				SeriesNames: []string{"x", "y"},
+				Window:      core.TimeWindow{Size: 16},
+			}
+			got := runCheckGraph(t, StreamCheck{
+				Check: ck,
+				Seed:  12345,
+				Route: ByInputKeys("x", "y"),
+			}, events, false, 1)
+			if got != tc.want {
+				t.Errorf("counts = %+v, want %+v", got, tc.want)
+			}
+		})
 	}
 }

@@ -74,10 +74,74 @@ func (o Orderedness) String() string {
 // Ordered reports whether the constraint relies on point ordering.
 func (o Orderedness) Ordered() bool { return o != Set }
 
+// KernelOp identifies which compiled evaluation kernel implements a
+// constraint's predicate. Every Table IV template (and the §IV-C
+// generalizations behind it) maps to one op; KernelNone marks
+// user-supplied functions that only the closure path can evaluate.
+type KernelOp uint8
+
+const (
+	// KernelNone means the constraint has no compiled form; evaluation
+	// always goes through the Fn closure.
+	KernelNone KernelOp = iota
+	// KernelRange is a <= x <= b on every value.
+	KernelRange
+	// KernelGreaterThan is x > A on every value.
+	KernelGreaterThan
+	// KernelNonNegative is x >= 0 on every value.
+	KernelNonNegative
+	// KernelFractionInRange requires at least fraction C of the values
+	// in [A, B].
+	KernelFractionInRange
+	// KernelMonotone is x_i < x_{i+1} (Strict) or x_i <= x_{i+1}.
+	KernelMonotone
+	// KernelMaxDelta is max(x) - min(x) < A.
+	KernelMaxDelta
+	// KernelCountAtLeast is |x| >= |y| on the window cardinalities.
+	KernelCountAtLeast
+	// KernelStdNonZero is std(x) != 0.
+	KernelStdNonZero
+	// KernelLowerMeanDelta compares mean absolute first differences.
+	KernelLowerMeanDelta
+	// KernelCorrAbove is Pearson corr(x, y) > A.
+	KernelCorrAbove
+	// KernelCorrBelow is |Pearson corr(x, y)| < A.
+	KernelCorrBelow
+	// KernelRSquaredAbove is R²(x, y) > A.
+	KernelRSquaredAbove
+	// KernelKSBelow bounds the two-sample KS statistic by A.
+	KernelKSBelow
+	// KernelKLBelow bounds the histogram KL divergence by A.
+	KernelKLBelow
+)
+
+// KernelSpec is the declarative form of a template constraint: the
+// operation plus its numeric parameters. The evaluator lowers a spec to
+// a block kernel that scores a whole matrix of resampled realizations
+// per call with finiteness classified once per extraction instead of
+// once per draw (see internal/core/kernel.go); the Fn closure remains
+// the reference semantics, the fallback for KernelNone, and the parity
+// oracle for the kernel tests.
+type KernelSpec struct {
+	Op KernelOp
+	// Strict selects the strict variant of KernelMonotone.
+	Strict bool
+	// Bins configures the KernelKLBelow histogram.
+	Bins int32
+	// A, B, C parameterize the op: KernelRange uses [A, B];
+	// KernelGreaterThan, KernelMaxDelta, the correlation/R² thresholds
+	// and the KS/KL bounds use A; KernelFractionInRange uses [A, B]
+	// with minimum fraction C.
+	A, B, C float64
+}
+
 // Constraint is a sanity constraint φᵏ: (V*)ᵏ → {⊤, ⊥} together with its
 // taxonomy classification (paper Def. 1). Fn receives the k value
 // sequences of a window tuple and must be deterministic and free of side
-// effects; γ calls it on resampled realizations of the window.
+// effects; γ calls it on resampled realizations of the window. Spec, when
+// non-zero, is the compiled form of Fn: template constructors fill both,
+// and γ evaluates through the block kernel compiled from Spec whenever
+// the primed windows are provably finite, falling back to Fn otherwise.
 type Constraint struct {
 	Name        string
 	Description string
@@ -85,6 +149,7 @@ type Constraint struct {
 	Orderedness Orderedness
 	Arity       int
 	Fn          func(vals [][]float64) bool
+	Spec        KernelSpec
 }
 
 // Validate checks structural well-formedness of the constraint.

@@ -29,6 +29,51 @@ type decisionBounds struct {
 	priorLower, priorUpper float64
 }
 
+// nextDecision returns the earliest scheduled check index j in (i, maxS]
+// at which the decision rule could still fire given cs satisfied of the
+// first i samples: accepting requires cs + (j-i) >= acceptAt[j] even if
+// every remaining draw satisfies the constraint, rejecting requires
+// cs <= rejectAt[j] even if none does. A return of 0 means no future
+// check can conclude. Both slack bounds are monotone along the actual
+// trajectory — advancing (cs, i) by real draws never makes an
+// undecidable check decidable — so callers that hit 0 may exhaust the
+// sampling budget without re-scanning, and the block evaluator
+// (kernel.go) may draw straight to j knowing no interior check of the
+// scalar loop could have fired.
+func (b *decisionBounds) nextDecision(cs, i, minS, ci, maxS int) int {
+	j := i + 1
+	if j < minS {
+		j = minS
+	}
+	if j > maxS {
+		return 0
+	}
+	if ci > 1 {
+		// Scheduled checks are the multiples of ci plus maxS itself, so
+		// step straight between them instead of scanning every index —
+		// with a coarse interval (e.g. a fixed-budget ci = maxS) the
+		// scan cost would otherwise rival the draws it schedules.
+		k := j + (ci - 1) - (j+ci-1)%ci
+		for ; k <= maxS; k += ci {
+			if cs+(k-i) >= b.acceptAt[k] || cs <= b.rejectAt[k] {
+				return k
+			}
+		}
+		if maxS%ci != 0 {
+			if cs+(maxS-i) >= b.acceptAt[maxS] || cs <= b.rejectAt[maxS] {
+				return maxS
+			}
+		}
+		return 0
+	}
+	for ; j <= maxS; j++ {
+		if cs+(j-i) >= b.acceptAt[j] || cs <= b.rejectAt[j] {
+			return j
+		}
+	}
+	return 0
+}
+
 // The boundary table depends only on (prior, credibility, N), so it is
 // shared process-wide: sequential evaluators, EvaluateAllParallel
 // workers, and stream checkers with the same Params all reuse one table.

@@ -153,3 +153,46 @@ func TestReseedMatchesFreshEvaluator(t *testing.T) {
 		}
 	}
 }
+
+// nextDecisionRef is the straightforward scan nextDecision optimizes:
+// every index in (i, maxS] is visited and filtered down to the scheduled
+// checks. The production version steps between multiples of ci directly;
+// this reference pins that the stepping never skips or reorders a check.
+func nextDecisionRef(b *decisionBounds, cs, i, minS, ci, maxS int) int {
+	j := i + 1
+	if j < minS {
+		j = minS
+	}
+	for ; j <= maxS; j++ {
+		if ci != 1 && j%ci != 0 && j != maxS {
+			continue
+		}
+		if cs+(j-i) >= b.acceptAt[j] || cs <= b.rejectAt[j] {
+			return j
+		}
+	}
+	return 0
+}
+
+func TestNextDecisionMatchesReferenceScan(t *testing.T) {
+	for _, maxS := range []int{1, 7, 30, 100} {
+		b := boundsFor(Params{Credibility: 0.95, MaxSamples: maxS})
+		for _, ci := range []int{1, 2, 3, 7, maxS / 2, maxS - 1, maxS, maxS + 13} {
+			if ci < 1 {
+				continue
+			}
+			for _, minS := range []int{0, 1, maxS / 3, maxS} {
+				for i := 0; i <= maxS; i++ {
+					for cs := 0; cs <= i; cs++ {
+						got := b.nextDecision(cs, i, minS, ci, maxS)
+						want := nextDecisionRef(b, cs, i, minS, ci, maxS)
+						if got != want {
+							t.Fatalf("nextDecision(cs=%d,i=%d,minS=%d,ci=%d,maxS=%d) = %d, reference scan = %d",
+								cs, i, minS, ci, maxS, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

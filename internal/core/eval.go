@@ -69,11 +69,17 @@ func (p Params) normalized() (Params, error) {
 	if p.PriorAlpha < 0 || p.PriorBeta < 0 {
 		return p, fmt.Errorf("core: negative prior (%g, %g)", p.PriorAlpha, p.PriorBeta)
 	}
-	if p.CheckInterval <= 0 {
+	if p.CheckInterval == 0 {
 		p.CheckInterval = 1
 	}
+	if p.CheckInterval < 1 {
+		return p, fmt.Errorf("core: check interval %d < 1", p.CheckInterval)
+	}
 	if p.MinSamples < 0 {
-		p.MinSamples = 0
+		return p, fmt.Errorf("core: negative burn-in %d", p.MinSamples)
+	}
+	if p.MinSamples > p.MaxSamples {
+		return p, fmt.Errorf("core: burn-in %d exceeds max sample size %d", p.MinSamples, p.MaxSamples)
 	}
 	return p, nil
 }
@@ -117,6 +123,12 @@ type Evaluator struct {
 	// extc holds the shared per-series extractions EvaluateAll attaches
 	// to its window tuples, reused across calls.
 	extc extCache
+	// blk, mask, and kvals are the kernel path's reused scratch: the
+	// dense sample matrix, the per-sample satisfied bitmask, and the
+	// per-window row headers passed to the kernel (see kernel.go).
+	blk   resample.Block
+	mask  []uint64
+	kvals [][]float64
 }
 
 // NewEvaluator returns an Evaluator with the given parameters and seed.
@@ -177,7 +189,7 @@ func (e *Evaluator) Derive(seed uint64) *Evaluator {
 // yields ⊣ with zero samples.
 func (e *Evaluator) Evaluate(c Constraint, w WindowTuple) Result {
 	var res Result
-	e.evaluateInto(&res, c, w)
+	e.evaluateInto(&res, &c, w)
 	return res
 }
 
@@ -188,7 +200,7 @@ func (e *Evaluator) Evaluate(c Constraint, w WindowTuple) Result {
 // valid during this call, so the Result must not carry it into longer-
 // lived hands (violation analysis retains Result windows) — and skipping
 // it also skips one write barrier per window.
-func (e *Evaluator) evaluateInto(res *Result, c Constraint, w WindowTuple) {
+func (e *Evaluator) evaluateInto(res *Result, c *Constraint, w WindowTuple) {
 	res.Window.Windows = w.Windows
 	res.Window.Start = w.Start
 	res.Window.End = w.End
@@ -246,6 +258,14 @@ func (e *Evaluator) evaluateInto(res *Result, c Constraint, w WindowTuple) {
 		e.finish(res, countSatisfied)
 		return
 	}
+	if c.Spec.Op != KernelNone && kernelReady(rs, len(w.Windows)) {
+		// Template constraint over provably finite windows: evaluate
+		// through the compiled block kernel (kernel.go). User-supplied
+		// functions and windows that may produce non-finite draws keep
+		// the per-sample closure loop below as the reference path.
+		e.evaluateKernel(res, &c.Spec, rs, w)
+		return
+	}
 	for i := 1; i <= maxS; i++ {
 		sample := rs.Draw(w.Windows)
 		if c.Eval(sample) {
@@ -294,8 +314,9 @@ func (e *Evaluator) finish(res *Result, countSatisfied int) {
 		post := stat.Beta{Alpha: e.params.PriorAlpha + float64(s), Beta: e.params.PriorBeta + float64(n-s)}
 		res.Lower, res.Upper = e.credibleInterval(s, n-s, post)
 	default:
-		// MinSamples > MaxSamples: no check ever ran; the interval stays
-		// at its zero value, matching the direct rule.
+		// No check ever ran (MinSamples > MaxSamples, rejected by
+		// normalized() but kept consistent for internal callers): the
+		// interval stays at its zero value, matching the direct rule.
 	}
 	res.SatisfiedCount = s
 	res.ViolationProb = 1 - (e.params.PriorAlpha+float64(s))/(e.params.PriorAlpha+e.params.PriorBeta+float64(n))
@@ -311,7 +332,7 @@ func (e *Evaluator) EvaluateAll(c Constraint, win Windower, ss []series.Series) 
 	e.extc.attach(ClassifyWindow(win), ss, tuples)
 	out := make([]Result, len(tuples))
 	for i := range tuples {
-		e.evaluateInto(&out[i], c, tuples[i])
+		e.evaluateInto(&out[i], &c, tuples[i])
 	}
 	return out
 }

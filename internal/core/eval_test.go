@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"sound/internal/series"
@@ -30,14 +31,46 @@ func TestParamsDefaults(t *testing.T) {
 }
 
 func TestParamsValidation(t *testing.T) {
-	if _, err := NewEvaluator(Params{Credibility: 1.5}, 1); err == nil {
-		t.Error("credibility > 1 accepted")
+	cases := []struct {
+		name    string
+		in      Params
+		wantErr string // substring of the error, "" = must normalize
+	}{
+		{"defaults", Params{}, ""},
+		{"credibility above one", Params{Credibility: 1.5}, "credibility"},
+		{"credibility negative", Params{Credibility: -0.5}, "credibility"},
+		{"negative max samples", Params{MaxSamples: -1}, "sample"},
+		{"negative prior alpha", Params{PriorAlpha: -1}, "prior"},
+		{"negative prior beta", Params{PriorBeta: -1}, "prior"},
+		{"check interval defaults to 1", Params{CheckInterval: 0}, ""},
+		{"check interval negative", Params{CheckInterval: -1}, "check interval"},
+		{"check interval above one ok", Params{CheckInterval: 7}, ""},
+		{"burn-in negative", Params{MinSamples: -3}, "burn-in"},
+		{"burn-in beyond budget", Params{MinSamples: 101}, "burn-in"},
+		{"burn-in at budget ok", Params{MinSamples: 100}, ""},
+		{"burn-in within custom budget", Params{MinSamples: 20, MaxSamples: 10}, "burn-in"},
 	}
-	if _, err := NewEvaluator(Params{MaxSamples: -1}, 1); err == nil {
-		t.Error("negative N accepted")
-	}
-	if _, err := NewEvaluator(Params{PriorAlpha: -1}, 1); err == nil {
-		t.Error("negative prior accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.in.normalized()
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("normalized() err = %v, want %q", err, tc.wantErr)
+				}
+			} else if err != nil {
+				t.Fatalf("normalized() err = %v", err)
+			} else if p.CheckInterval < 1 {
+				t.Fatalf("normalized CheckInterval = %d", p.CheckInterval)
+			}
+			// Every construction entry point must surface the same verdict.
+			if _, err2 := NewEvaluator(tc.in, 1); (err2 != nil) != (err != nil) {
+				t.Errorf("NewEvaluator err = %v, normalized err = %v", err2, err)
+			}
+			ck := Check{Name: "r", Constraint: Range(0, 1), SeriesNames: []string{"s"}, Window: GlobalWindow{}}
+			if _, err2 := CompilePlan(ck, tc.in, 1); (err2 != nil) != (err != nil) {
+				t.Errorf("CompilePlan err = %v, normalized err = %v", err2, err)
+			}
+		})
 	}
 }
 

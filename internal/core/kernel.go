@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/bits"
+
+	"sound/internal/resample"
+	"sound/internal/stat"
+)
+
+// This file implements the compiled constraint kernels: the block
+// evaluation path of Alg. 1 that scores a whole matrix of resampled
+// realizations per call instead of one closure call per draw.
+//
+// A template constraint carries its declarative KernelSpec next to the
+// reference closure. When every primed window is provably finite under
+// perturbation (resample.Resampler.WindowSafe, classified once per
+// extraction), the evaluator draws blocks of K samples with
+// resample.DrawBlock and scores them with kernelSat, which mirrors the
+// closure's arithmetic exactly minus the per-draw finite() scan the
+// safety proof makes redundant. Constraints with user-supplied functions
+// (Spec.Op == KernelNone) and windows that cannot be proven finite fall
+// back to the closure loop, so the kernel path is a pure optimization:
+// the satisfied verdicts — and therefore the sampled trajectory, the
+// stopping index, and the posterior — are bit-identical by construction,
+// pinned by the kernel-vs-closure property and fuzz tests.
+
+// kernelBlockValues caps how many float64 values one drawn block may
+// hold across all windows, bounding the evaluator's resident sample
+// matrix regardless of window length and MaxSamples.
+const kernelBlockValues = 4096
+
+// kernelSat reports whether one resample realization satisfies the
+// compiled spec. Precondition: every window of vals is provably finite
+// (all raw values and every perturbed draw, see Extraction.Safe), which
+// is what lets the finite() scans of the template closures be skipped;
+// every other operation matches the closure for the same spec
+// operation-for-operation, so the returned boolean is bit-identical to
+// Constraint.Fn on the same values.
+func kernelSat(sp *KernelSpec, vals [][]float64) bool {
+	switch sp.Op {
+	case KernelRange:
+		for _, v := range vals[0] {
+			if v < sp.A || v > sp.B {
+				return false
+			}
+		}
+		return true
+	case KernelGreaterThan:
+		for _, v := range vals[0] {
+			if !(v > sp.A) {
+				return false
+			}
+		}
+		return true
+	case KernelNonNegative:
+		for _, v := range vals[0] {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	case KernelFractionInRange:
+		vs := vals[0]
+		if len(vs) == 0 {
+			return false
+		}
+		in := 0
+		for _, v := range vs {
+			if v >= sp.A && v <= sp.B {
+				in++
+			}
+		}
+		return float64(in)/float64(len(vs)) >= sp.C
+	case KernelMonotone:
+		vs := vals[0]
+		if sp.Strict {
+			for i := 1; i < len(vs); i++ {
+				if !(vs[i-1] < vs[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 1; i < len(vs); i++ {
+			if !(vs[i-1] <= vs[i]) {
+				return false
+			}
+		}
+		return true
+	case KernelMaxDelta:
+		vs := vals[0]
+		if len(vs) == 0 {
+			return false
+		}
+		return stat.Max(vs)-stat.Min(vs) < sp.A
+	case KernelCountAtLeast:
+		return len(vals[0]) >= len(vals[1])
+	case KernelStdNonZero:
+		vs := vals[0]
+		if len(vs) < 2 {
+			return false
+		}
+		return stat.Variance(vs) != 0
+	case KernelLowerMeanDelta:
+		x, y := vals[0], vals[1]
+		if len(x) < 2 || len(y) < 2 {
+			return false
+		}
+		return meanAbsDelta(x) < meanAbsDelta(y)
+	case KernelCorrAbove:
+		return stat.Pearson(vals[0], vals[1]) > sp.A
+	case KernelCorrBelow:
+		r := stat.Pearson(vals[0], vals[1])
+		if r < 0 {
+			r = -r
+		}
+		return r < sp.A
+	case KernelRSquaredAbove:
+		return stat.RSquared(vals[0], vals[1]) > sp.A
+	case KernelKSBelow:
+		if len(vals[0]) == 0 || len(vals[1]) == 0 {
+			return false
+		}
+		return stat.KSTest2Samp(vals[0], vals[1]).Statistic < sp.A
+	case KernelKLBelow:
+		if len(vals[0]) == 0 || len(vals[1]) == 0 {
+			return false
+		}
+		return stat.KLDivergence(vals[0], vals[1], int(sp.Bins)) < sp.A
+	}
+	return false
+}
+
+// kernelReady reports whether all k primed window slots are provably
+// finite under perturbation, the precondition for the kernel path.
+func kernelReady(rs *resample.Resampler, k int) bool {
+	for wi := 0; wi < k; wi++ {
+		if !rs.WindowSafe(wi) {
+			return false
+		}
+	}
+	return true
+}
+
+// scoreBlock evaluates the kernel on every sample of the evaluator's
+// current block, records the per-sample verdicts in the satisfied
+// bitmask (bit s of word s/64), and returns the bitmask's population
+// count — the block's contribution to countSatisfied.
+func (e *Evaluator) scoreBlock(sp *KernelSpec, k int) int {
+	nw := len(e.blk.Data)
+	if cap(e.kvals) < nw {
+		e.kvals = make([][]float64, nw)
+	}
+	vals := e.kvals[:nw]
+	words := (k + 63) / 64
+	if cap(e.mask) < words {
+		e.mask = make([]uint64, words)
+	}
+	mask := e.mask[:words]
+	for i := range mask {
+		mask[i] = 0
+	}
+	for s := 0; s < k; s++ {
+		for wi := range vals {
+			vals[wi] = e.blk.Row(wi, s)
+		}
+		if kernelSat(sp, vals) {
+			mask[s>>6] |= 1 << uint(s&63)
+		}
+	}
+	sat := 0
+	for _, m := range mask {
+		sat += bits.OnesCount64(m)
+	}
+	return sat
+}
+
+// evaluateKernel is the block-wise sampling loop of Alg. 1: instead of
+// drawing one sample and consulting the boundary table per iteration, it
+// asks the table for the earliest future check at which a conclusion is
+// still possible (decisionBounds.nextDecision), draws all samples up to
+// that edge as dense blocks, folds the kernel's satisfied bitmask into
+// the running count, and tests the two integer thresholds once per block
+// edge. Because nextDecision bounds the trajectory from above and below,
+// no interior check of the scalar loop could have fired, and the check
+// at the edge sees exactly the count the scalar loop would see — the
+// stopping index, outcome, and posterior are identical, while the
+// randomness consumed is exactly one Draw per sample in the same order
+// (resample.DrawBlock), so every later window sees an unchanged stream.
+func (e *Evaluator) evaluateKernel(res *Result, sp *KernelSpec, rs *resample.Resampler, w WindowTuple) {
+	accept, reject := e.bounds.acceptAt, e.bounds.rejectAt
+	maxS, minS, ci := e.params.MaxSamples, e.params.MinSamples, e.params.CheckInterval
+	total := 0
+	for _, win := range w.Windows {
+		total += len(win)
+	}
+	chunk := maxS
+	if total > 0 && kernelBlockValues/total < maxS {
+		chunk = kernelBlockValues / total
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	cs, i := 0, 0
+	for i < maxS {
+		j := e.bounds.nextDecision(cs, i, minS, ci, maxS)
+		edge := j
+		if edge == 0 {
+			// No future check can conclude; exhaust the budget.
+			edge = maxS
+		}
+		for i < edge {
+			k := edge - i
+			if k > chunk {
+				k = chunk
+			}
+			rs.DrawBlock(w.Windows, k, &e.blk)
+			cs += e.scoreBlock(sp, k)
+			i += k
+		}
+		if j == 0 {
+			break
+		}
+		if cs >= accept[j] {
+			res.Outcome = Satisfied
+			break
+		}
+		if cs <= reject[j] {
+			res.Outcome = Violated
+			break
+		}
+	}
+	res.Samples = i
+	e.finish(res, cs)
+}

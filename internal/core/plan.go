@@ -273,7 +273,7 @@ func (pl *CheckPlan) runParallelTuples(ctx context.Context, ss []series.Series, 
 				default:
 				}
 				e.Reseed(pl.seed ^ (uint64(i)*0x9e3779b97f4a7c15 + 1))
-				e.evaluateInto(&out[i], pl.check.Constraint, tuples[i])
+				e.evaluateInto(&out[i], &pl.check.Constraint, tuples[i])
 			}
 		}()
 	}
@@ -344,7 +344,7 @@ func (pl *CheckPlan) runParallelPoints(ctx context.Context, ss []series.Series, 
 				t.Start, t.End = ss[0][i].T, ss[0][i].T
 				t.Index = i
 				e.Reseed(pl.seed ^ (uint64(i)*0x9e3779b97f4a7c15 + 1))
-				e.evaluateInto(&out[i], pl.check.Constraint, t)
+				e.evaluateInto(&out[i], &pl.check.Constraint, t)
 			}
 		}()
 	}

@@ -20,6 +20,7 @@ func Range(a, b float64) Constraint {
 		Granularity: PointWise,
 		Orderedness: Set,
 		Arity:       1,
+		Spec:        KernelSpec{Op: KernelRange, A: a, B: b},
 		Fn: func(vals [][]float64) bool {
 			if !finite(vals[0]) {
 				return false
@@ -43,6 +44,7 @@ func GreaterThan(t float64) Constraint {
 		Granularity: PointWise,
 		Orderedness: Set,
 		Arity:       1,
+		Spec:        KernelSpec{Op: KernelGreaterThan, A: t},
 		Fn: func(vals [][]float64) bool {
 			if !finite(vals[0]) {
 				return false
@@ -62,6 +64,7 @@ func NonNegative() Constraint {
 	c := GreaterThan(0)
 	c.Name = "non-negative"
 	c.Description = "value >= 0"
+	c.Spec = KernelSpec{Op: KernelNonNegative}
 	c.Fn = func(vals [][]float64) bool {
 		if !finite(vals[0]) {
 			return false
@@ -87,6 +90,7 @@ func FractionInRange(a, b, frac float64) Constraint {
 		Granularity: WindowTime,
 		Orderedness: Set,
 		Arity:       1,
+		Spec:        KernelSpec{Op: KernelFractionInRange, A: a, B: b, C: frac},
 		Fn: func(vals [][]float64) bool {
 			vs := vals[0]
 			if len(vs) == 0 || !finite(vs) {
@@ -117,6 +121,7 @@ func MonotonicIncrease(strict bool) Constraint {
 		Granularity: WindowIndex,
 		Orderedness: SequenceIndex,
 		Arity:       1,
+		Spec:        KernelSpec{Op: KernelMonotone, Strict: strict},
 		Fn: func(vals [][]float64) bool {
 			vs := vals[0]
 			if !finite(vs) {
@@ -144,6 +149,7 @@ func MaxDelta(a float64) Constraint {
 		Granularity: WindowTime,
 		Orderedness: Set,
 		Arity:       1,
+		Spec:        KernelSpec{Op: KernelMaxDelta, A: a},
 		Fn: func(vals [][]float64) bool {
 			vs := vals[0]
 			if len(vs) == 0 || !finite(vs) {
@@ -165,6 +171,7 @@ func CountAtLeast() Constraint {
 		Granularity: WindowTime,
 		Orderedness: Set,
 		Arity:       2,
+		Spec:        KernelSpec{Op: KernelCountAtLeast},
 		Fn: func(vals [][]float64) bool {
 			return len(vals[0]) >= len(vals[1])
 		},
@@ -180,6 +187,7 @@ func StdNonZero() Constraint {
 		Granularity: WindowIndex,
 		Orderedness: Set,
 		Arity:       1,
+		Spec:        KernelSpec{Op: KernelStdNonZero},
 		Fn: func(vals [][]float64) bool {
 			vs := vals[0]
 			if len(vs) < 2 || !finite(vs) {
@@ -200,6 +208,7 @@ func LowerMeanDelta() Constraint {
 		Granularity: WindowTime,
 		Orderedness: SequenceIndex,
 		Arity:       2,
+		Spec:        KernelSpec{Op: KernelLowerMeanDelta},
 		Fn: func(vals [][]float64) bool {
 			x, y := vals[0], vals[1]
 			if len(x) < 2 || len(y) < 2 || !finite(x, y) {
@@ -232,6 +241,7 @@ func CorrelationAbove(t float64) Constraint {
 		Granularity: WindowTime,
 		Orderedness: SequenceIndex,
 		Arity:       2,
+		Spec:        KernelSpec{Op: KernelCorrAbove, A: t},
 		Fn: func(vals [][]float64) bool {
 			r := stat.Pearson(vals[0], vals[1])
 			return r > t // NaN fails, as intended
@@ -249,6 +259,7 @@ func CorrelationBelow(t float64) Constraint {
 		Granularity: WindowTime,
 		Orderedness: SequenceIndex,
 		Arity:       2,
+		Spec:        KernelSpec{Op: KernelCorrBelow, A: t},
 		Fn: func(vals [][]float64) bool {
 			r := stat.Pearson(vals[0], vals[1])
 			if r < 0 {
@@ -268,6 +279,7 @@ func RSquaredAbove(t float64) Constraint {
 		Granularity: WindowTime,
 		Orderedness: SequenceIndex,
 		Arity:       2,
+		Spec:        KernelSpec{Op: KernelRSquaredAbove, A: t},
 		Fn: func(vals [][]float64) bool {
 			return stat.RSquared(vals[0], vals[1]) > t
 		},
@@ -284,6 +296,7 @@ func KSDistanceBelow(t float64) Constraint {
 		Granularity: WindowTime,
 		Orderedness: Set,
 		Arity:       2,
+		Spec:        KernelSpec{Op: KernelKSBelow, A: t},
 		Fn: func(vals [][]float64) bool {
 			if len(vals[0]) == 0 || len(vals[1]) == 0 || !finite(vals[0], vals[1]) {
 				return false
@@ -303,6 +316,7 @@ func KLDivergenceBelow(t float64, bins int) Constraint {
 		Granularity: WindowTime,
 		Orderedness: Set,
 		Arity:       2,
+		Spec:        KernelSpec{Op: KernelKLBelow, A: t, Bins: int32(bins)},
 		Fn: func(vals [][]float64) bool {
 			if len(vals[0]) == 0 || len(vals[1]) == 0 || !finite(vals[0], vals[1]) {
 				return false

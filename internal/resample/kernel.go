@@ -78,6 +78,28 @@ type Extraction struct {
 	// 1<<Class — kept current by Extract/AppendPoint/TrimFront so
 	// whole-extraction views answer classes() without scanning runs.
 	seen uint8
+	// accV/accS upper-bound the point magnitudes: accV >= Σ|v|,
+	// accS >= Σ(|σ↑|+|σ↓|), accumulated at extraction time and only ever
+	// grown by AppendPoint (TrimFront keeps them, which stays a valid
+	// bound for the remaining subset). Safe() derives the per-extraction
+	// finiteness classification from them — see Safe for the contract.
+	accV, accS float64
+}
+
+// safeLimit bounds the magnitude accumulators: while accV/16 + accS stays
+// at or below MaxFloat64/16, every individual |v| + 16(σ↑+σ↓) is finite.
+const safeLimit = math.MaxFloat64 / 16
+
+// Safe reports whether every extracted point is certainly finite under
+// perturbation: all values and uncertainties are finite (a NaN anywhere
+// poisons the accumulators), and no perturbed value |v| + σ·|z| can
+// overflow to ±Inf — the ziggurat's largest possible |z| is
+// znR + 53·ln2/znR < 16, so |v| + 16(σ↑+σ↓) finite is sufficient. The
+// test is conservative (a false does not mean unsafe, only unprovable);
+// consumers that hoist per-draw finiteness checks out of their inner
+// loops fall back to the checking path when it fails.
+func (x *Extraction) Safe() bool {
+	return x.accV*0x1p-4+x.accS <= safeLimit
 }
 
 // Len returns the number of extracted points.
@@ -91,6 +113,7 @@ func (x *Extraction) Reset() {
 	x.Tags = x.Tags[:0]
 	x.runs = x.runs[:0]
 	x.seen = 0
+	x.accV, x.accS = 0, 0
 }
 
 // Extract (re)builds the extraction from w, reusing buffers. The loop is
@@ -98,6 +121,28 @@ func (x *Extraction) Reset() {
 // one-point window per evaluation — prime cost is on the hot path there.
 func (x *Extraction) Extract(w series.Series) {
 	n := len(w)
+	if n == 1 && cap(x.Vals) >= 1 && cap(x.SigUp) >= 1 && cap(x.SigDown) >= 1 &&
+		cap(x.Tags) >= 1 && cap(x.runs) >= 1 {
+		// Point-wise extraction with warm buffers: one point per prime,
+		// every evaluation — worth skipping the general resize/run
+		// bookkeeping entirely.
+		p := w[0]
+		x.Vals = x.Vals[:1]
+		x.SigUp = x.SigUp[:1]
+		x.SigDown = x.SigDown[:1]
+		x.Tags = x.Tags[:1]
+		x.runs = x.runs[:1]
+		x.Vals[0] = p.V
+		x.SigUp[0] = p.SigUp
+		x.SigDown[0] = p.SigDown
+		t := classify(p)
+		x.Tags[0] = t
+		x.runs[0] = classRun{Lo: 0, Hi: 1, Class: t}
+		x.seen = 1 << t
+		x.accV = math.Abs(p.V)
+		x.accS = math.Abs(p.SigUp) + math.Abs(p.SigDown)
+		return
+	}
 	x.Vals = sliceFor(x.Vals, n)
 	x.SigUp = sliceFor(x.SigUp, n)
 	x.SigDown = sliceFor(x.SigDown, n)
@@ -120,6 +165,46 @@ func (x *Extraction) Extract(w series.Series) {
 		last = t
 	}
 	x.seen = seen
+	if n == 1 {
+		// Point-wise extraction: one point per prime, where the batched
+		// accumulator pass is all call overhead.
+		x.accV = math.Abs(x.Vals[0])
+		x.accS = math.Abs(x.SigUp[0]) + math.Abs(x.SigDown[0])
+		return
+	}
+	x.accV, x.accS = 0, 0
+	x.accumMagnitudes(0)
+}
+
+// accumMagnitudes folds points [from, Len) into the safety accumulators.
+// It runs as a separate pass over the SoA slices with four independent
+// partial sums, so the serial float-add latency chains overlap and the
+// pass costs well under a cycle per point; the combine order differs from
+// a sequential sum, which is fine — the accumulators are conservative
+// bounds, not replayed values.
+func (x *Extraction) accumMagnitudes(from int) {
+	var v0, v1, v2, v3, s0, s1, s2, s3 float64
+	vals := x.Vals[from:]
+	// Reslice to the common length so the compiler can prove every index
+	// below in bounds from the single loop condition.
+	ups, downs := x.SigUp[from:][:len(vals)], x.SigDown[from:][:len(vals)]
+	i := 0
+	for ; i+3 < len(vals); i += 4 {
+		v0 += math.Abs(vals[i])
+		v1 += math.Abs(vals[i+1])
+		v2 += math.Abs(vals[i+2])
+		v3 += math.Abs(vals[i+3])
+		s0 += math.Abs(ups[i]) + math.Abs(downs[i])
+		s1 += math.Abs(ups[i+1]) + math.Abs(downs[i+1])
+		s2 += math.Abs(ups[i+2]) + math.Abs(downs[i+2])
+		s3 += math.Abs(ups[i+3]) + math.Abs(downs[i+3])
+	}
+	for ; i < len(vals); i++ {
+		v0 += math.Abs(vals[i])
+		s0 += math.Abs(ups[i]) + math.Abs(downs[i])
+	}
+	x.accV += (v0 + v1) + (v2 + v3)
+	x.accS += (s0 + s1) + (s2 + s3)
 }
 
 // ExtendFrom appends the points of w beyond the extraction's current
@@ -141,6 +226,8 @@ func (x *Extraction) AppendPoint(p series.Point) {
 	x.SigDown = append(x.SigDown, p.SigDown)
 	x.Tags = append(x.Tags, t)
 	x.seen |= 1 << t
+	x.accV += math.Abs(p.V)
+	x.accS += math.Abs(p.SigUp) + math.Abs(p.SigDown)
 	if m := len(x.runs); m > 0 && x.runs[m-1].Class == t {
 		x.runs[m-1].Hi = n + 1
 		return
@@ -185,6 +272,10 @@ func (x *Extraction) TrimFront(n int) {
 	}
 	x.runs = runs
 	x.seen = seen
+	// accV/accS are left as-is: dropping points only shrinks the true
+	// magnitude sums, so the retained accumulators stay valid (if now
+	// looser) upper bounds. Streams that trim also append, and appends
+	// re-tighten nothing either way — Safe() only needs an upper bound.
 }
 
 // View returns a View covering the whole extraction.
@@ -368,10 +459,9 @@ func (rs *Resampler) materializeView(m *winMeta, idx []int, buf []float64) {
 		}
 	case !m.hasAsym:
 		sig := x.SigUp[base:m.view.Hi]
-		var z []float64
 		if !m.hasCertain {
 			// All symmetric: every gathered point consumes one normal.
-			z = rs.normScratch(len(idx))
+			z := rs.normScratch(len(idx))
 			rs.r.NormFill(z)
 			for i, j := range idx {
 				buf[i] = vals[j] + sig[j]*z[i]
@@ -385,7 +475,7 @@ func (rs *Resampler) materializeView(m *winMeta, idx []int, buf []float64) {
 				draws++
 			}
 		}
-		z = rs.normScratch(draws)
+		z := rs.normScratch(draws)
 		rs.r.NormFill(z)
 		zi := 0
 		for i, j := range idx {

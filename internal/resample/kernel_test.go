@@ -112,12 +112,12 @@ func TestKernelScalarParityRandomized(t *testing.T) {
 // points — including zero-σ directions — in one window.
 func TestKernelScalarParityMixedClasses(t *testing.T) {
 	w := series.Series{
-		{T: 0, V: 5},                          // certain (σ = 0)
-		{T: 1, V: 10, SigUp: 2, SigDown: 2},   // symmetric σ↑ = σ↓
-		{T: 2, V: -3, SigUp: 1, SigDown: 4},   // asymmetric
-		{T: 3, V: 7, SigUp: 0, SigDown: 2},    // asymmetric, σ↑ = 0
-		{T: 4, V: 1, SigUp: 3, SigDown: 0},    // asymmetric, σ↓ = 0
-		{T: 5, V: 0},                          // certain again (new run)
+		{T: 0, V: 5},                        // certain (σ = 0)
+		{T: 1, V: 10, SigUp: 2, SigDown: 2}, // symmetric σ↑ = σ↓
+		{T: 2, V: -3, SigUp: 1, SigDown: 4}, // asymmetric
+		{T: 3, V: 7, SigUp: 0, SigDown: 2},  // asymmetric, σ↑ = 0
+		{T: 4, V: 1, SigUp: 3, SigDown: 0},  // asymmetric, σ↓ = 0
+		{T: 5, V: 0},                        // certain again (new run)
 		{T: 6, V: 2, SigUp: 0.5, SigDown: 0.5},
 		{T: 7, V: 2, SigUp: 0.5, SigDown: 0.5},
 		{T: 8, V: 2, SigUp: 0.5, SigDown: 0.5}, // symmetric run ≥ 3

@@ -120,6 +120,11 @@ type Resampler struct {
 	own       []Extraction // owned extractions for windows primed from raw points
 	norm      []float64    // normal-variate scratch for the batched kernels
 	starts    []int        // block-start scratch for the sequence bootstrap
+	spans     [][]float64  // per-window value/sigma span scratch for block draws
+	// autoN/autoB memoize the automatic ⌈√n⌉ block size: Alg. 1 redraws
+	// the same window length up to MaxSamples times per evaluation, and
+	// the sqrt otherwise lands on every sample.
+	autoN, autoB int
 }
 
 // winMeta binds window slot wi to its SoA extraction view for a run of
@@ -290,29 +295,37 @@ func (rs *Resampler) Draw(windows []series.Series) [][]float64 {
 		}
 		rs.buf = rs.buf[:k]
 	}
+	for wi, w := range windows {
+		if len(rs.buf[wi]) != len(w) {
+			rs.buf[wi] = sliceFor(rs.buf[wi], len(w))
+		}
+	}
+	rs.drawSampleInto(windows, rs.buf)
+	return rs.buf
+}
 
+// drawSampleInto draws one aligned resample of the windows into the
+// per-window destination rows (each already sized to its window), sharing
+// the per-sample machinery between Draw and DrawBlock. The randomness
+// consumed is exactly that of the scalar strategy loops.
+func (rs *Resampler) drawSampleInto(windows []series.Series, out [][]float64) {
 	switch rs.strategy {
 	case Point:
 		for wi, w := range windows {
-			buf := rs.buf[wi]
-			if len(buf) != len(w) {
-				buf = sliceFor(buf, len(w))
-				rs.buf[wi] = buf
-			}
 			if m := rs.primed(wi, w); m != nil {
-				rs.drawPoint(m, buf)
+				rs.drawPoint(m, out[wi])
 				continue
 			}
+			buf := out[wi]
 			for i, p := range w {
 				buf[i] = PerturbValue(p, rs.r)
 			}
 		}
 	case Set:
-		rs.drawIndexed(windows, rs.setIndices)
+		rs.drawIndexedInto(windows, out, false)
 	case Sequence:
-		rs.drawIndexed(windows, rs.blockIndices)
+		rs.drawIndexedInto(windows, out, true)
 	}
-	return rs.buf
 }
 
 // drawPoint perturbs one window through the compiled kernels. The
@@ -342,12 +355,11 @@ func (rs *Resampler) drawPoint(m *winMeta, buf []float64) {
 	rs.perturbView(m.view, buf)
 }
 
-// drawIndexed samples shared indices per alignment group and materializes
-// perturbed values. Windows of the same length share one index vector so
-// that k aligned series stay aligned; a window with a different length
-// gets its own independent index vector.
-func (rs *Resampler) drawIndexed(windows []series.Series, gen func(n int) []int) {
-	k := len(windows)
+// drawIndexedInto samples shared indices per alignment group and
+// materializes perturbed values. Windows of the same length share one
+// index vector so that k aligned series stay aligned; a window with a
+// different length gets its own independent index vector.
+func (rs *Resampler) drawIndexedInto(windows []series.Series, out [][]float64, seq bool) {
 	// Fast path: all windows share a length (the common case for binary
 	// index-aligned checks and all unary checks).
 	allSame := true
@@ -359,25 +371,94 @@ func (rs *Resampler) drawIndexed(windows []series.Series, gen func(n int) []int)
 	}
 	if allSame {
 		n := len(windows[0])
-		idx := gen(n)
-		for wi := 0; wi < k; wi++ {
-			buf := rs.buf[wi]
-			if len(buf) != n {
-				buf = sliceFor(buf, n)
-				rs.buf[wi] = buf
-			}
-			rs.materialize(wi, windows[wi], idx, buf)
+		if seq && n > 0 {
+			rs.drawSeqShared(windows, out, n)
+			return
+		}
+		idx := rs.setIndices(n)
+		for wi, w := range windows {
+			rs.materialize(wi, w, idx, out[wi])
 		}
 		return
 	}
 	for wi, w := range windows {
-		idx := gen(len(w))
-		buf := rs.buf[wi]
-		if len(buf) != len(w) {
-			buf = sliceFor(buf, len(w))
-			rs.buf[wi] = buf
+		var idx []int
+		if seq {
+			idx = rs.blockIndices(len(w))
+		} else {
+			idx = rs.setIndices(len(w))
 		}
-		rs.materialize(wi, w, idx, buf)
+		rs.materialize(wi, w, idx, out[wi])
+	}
+}
+
+// drawSeqShared draws one aligned block-bootstrap sample for equal-length
+// windows. The block starts are drawn once (exactly as blockIndices
+// draws them); windows whose class mix the run kernel handles are then
+// materialized directly from the starts — whole blocks are contiguous
+// spans of the extraction, so the gather indirection and the expanded
+// index vector disappear — and the rest fall back to the expanded-index
+// path. Expansion consumes no randomness, so the choice per window
+// cannot shift the stream.
+func (rs *Resampler) drawSeqShared(windows []series.Series, out [][]float64, n int) {
+	b := rs.seqBlockSize(n)
+	nb := (n + b - 1) / b
+	rs.starts = intsFor(rs.starts, nb)
+	rs.r.IntnFill(rs.starts, n-b+1)
+	expanded := false
+	for wi, w := range windows {
+		if m := rs.primed(wi, w); m != nil && n >= smallWindow &&
+			!m.hasAsym && !(m.hasCertain && m.hasSym) {
+			rs.materializeSeqRuns(m, rs.starts, b, n, out[wi])
+			continue
+		}
+		if !expanded {
+			rs.expandStarts(rs.starts, b, n)
+			expanded = true
+		}
+		rs.materialize(wi, w, rs.idx, out[wi])
+	}
+}
+
+// materializeSeqRuns fills buf with one block-bootstrap resample of a
+// class-homogeneous window (all-certain or all-symmetric), reading each
+// drawn block as a contiguous span of the extraction. Stream- and
+// float-identical to expanding the starts into indices and gathering:
+// the same source element feeds the same output position with the same
+// update, and all-symmetric windows consume one normal per position in
+// position order, exactly like the gather kernel.
+func (rs *Resampler) materializeSeqRuns(m *winMeta, starts []int, b, n int, buf []float64) {
+	x := m.view.X
+	vals := x.Vals[m.view.Lo:m.view.Hi]
+	if !m.hasSym {
+		// All-certain: the resample is a concatenation of value spans.
+		pos := 0
+		for _, start := range starts {
+			end := pos + b
+			if end > n {
+				end = n
+			}
+			copy(buf[pos:end], vals[start:start+end-pos])
+			pos = end
+		}
+		return
+	}
+	sig := x.SigUp[m.view.Lo:m.view.Hi]
+	z := rs.normScratch(n)
+	rs.r.NormFill(z)
+	pos := 0
+	for _, start := range starts {
+		end := pos + b
+		if end > n {
+			end = n
+		}
+		l := end - pos
+		vs, ss := vals[start:start+l], sig[start:start+l]
+		zs, os := z[pos:end][:l], buf[pos:end][:l]
+		for i := range os {
+			os[i] = vs[i] + ss[i]*zs[i]
+		}
+		pos = end
 	}
 }
 
@@ -404,6 +485,41 @@ func (rs *Resampler) setIndices(n int) []int {
 	return rs.idx
 }
 
+// seqBlockSize resolves the block-bootstrap block size for an n-point
+// window: the explicit override if set, else the memoized automatic
+// b = ⌈√n⌉, clamped to n.
+func (rs *Resampler) seqBlockSize(n int) int {
+	b := rs.blockSize
+	if b <= 0 {
+		if n != rs.autoN {
+			rs.autoN, rs.autoB = n, BlockSize(n)
+		}
+		b = rs.autoB
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// expandStarts expands block start offsets into the full index vector
+// rs.idx (block i covering positions [i*b, min((i+1)*b, n))), consuming
+// no randomness.
+func (rs *Resampler) expandStarts(starts []int, b, n int) {
+	rs.idx = intsFor(rs.idx, n)
+	pos := 0
+	for _, start := range starts {
+		end := pos + b
+		if end > n {
+			end = n
+		}
+		for ; pos < end; pos++ {
+			rs.idx[pos] = start
+			start++
+		}
+	}
+}
+
 // blockIndices returns n indices formed by concatenating contiguous
 // blocks of size b = ⌈√n⌉ whose start offsets are drawn uniformly with
 // replacement (moving-block bootstrap). The final block is truncated to
@@ -415,28 +531,301 @@ func (rs *Resampler) blockIndices(n int) []int {
 	if n == 0 {
 		return rs.idx
 	}
-	b := rs.blockSize
-	if b <= 0 {
-		b = BlockSize(n)
-	}
-	if b > n {
-		b = n
-	}
+	b := rs.seqBlockSize(n)
 	nb := (n + b - 1) / b
 	rs.starts = intsFor(rs.starts, nb)
 	rs.r.IntnFill(rs.starts, n-b+1)
-	pos := 0
-	for _, start := range rs.starts {
-		end := pos + b
-		if end > n {
-			end = n
+	rs.expandStarts(rs.starts, b, n)
+	return rs.idx
+}
+
+// Block holds K consecutive aligned resamples of k windows in dense
+// row-major form — the sample matrix the compiled constraint kernels
+// consume. Data[wi] packs window wi's K rows back to back (sample s at
+// [s*n, (s+1)*n)); Start and End snapshot the generator at the block's
+// boundaries. A caller that abandons a drawn block entirely rewinds the
+// resampler to Start, making the block invisible to every draw that
+// follows. There are no per-sample snapshots: the block evaluator
+// schedules decisions only at block edges (see nextDecision in
+// internal/core), so a mid-block rewind point would never be used, and
+// omitting the captures lets the fused draw paths batch an entire
+// block's normals through one NormFill.
+type Block struct {
+	Data       [][]float64
+	Start, End rng.State
+	K          int
+	ns         []int
+	rows       [][]float64
+}
+
+// Row returns window wi's values for sample s.
+func (blk *Block) Row(wi, s int) []float64 {
+	n := blk.ns[wi]
+	return blk.Data[wi][s*n : (s+1)*n]
+}
+
+// DrawBlock draws K consecutive aligned resamples of the windows into
+// blk, reusing its buffers. The randomness consumed is exactly that of K
+// successive Draw calls — sample s's rows are bit-identical to what the
+// s-th Draw would have returned — and the generator state is snapshotted
+// at the block boundaries so a caller can rewind an abandoned block
+// (see Block).
+func (rs *Resampler) DrawBlock(windows []series.Series, K int, blk *Block) {
+	k := len(windows)
+	blk.K = K
+	blk.ns = intsFor(blk.ns, k)
+	if len(blk.Data) != k {
+		if cap(blk.Data) < k {
+			blk.Data = make([][]float64, k)
 		}
-		for ; pos < end; pos++ {
-			rs.idx[pos] = start
-			start++
+		blk.Data = blk.Data[:k]
+	}
+	if len(blk.rows) != k {
+		if cap(blk.rows) < k {
+			blk.rows = make([][]float64, k)
+		}
+		blk.rows = blk.rows[:k]
+	}
+	for wi, w := range windows {
+		n := len(w)
+		blk.ns[wi] = n
+		if need := K * n; len(blk.Data[wi]) != need {
+			blk.Data[wi] = sliceFor(blk.Data[wi], need)
 		}
 	}
-	return rs.idx
+	blk.Start = rs.r.State()
+	if rs.strategy == Sequence && rs.drawSeqBlock(windows, K, blk) {
+		return
+	}
+	if rs.strategy == Point && rs.drawPointBlock(windows, K, blk) {
+		return
+	}
+	for s := 0; s < K; s++ {
+		for wi := range windows {
+			n := blk.ns[wi]
+			blk.rows[wi] = blk.Data[wi][s*n : (s+1)*n]
+		}
+		rs.drawSampleInto(windows, blk.rows)
+	}
+	blk.End = rs.r.State()
+}
+
+// drawSeqBlock is DrawBlock's batched form of drawSeqShared for the
+// common case where every window is primed, equal-length, and
+// class-homogeneous (the run-materialized path of materializeSeqRuns
+// applies to all of them). The per-sample dispatch — strategy switch,
+// metadata identity checks, block-size derivation, scratch sizing — is
+// hoisted out of the K-loop, and the symmetric windows' per-window
+// NormFill calls fuse into one fill per sample: batching consecutive
+// NormFloat64-equivalent draws into one call cannot change the stream,
+// and the normals still land on the same windows in the same order, so
+// every emitted value is bit-identical to K drawSampleInto calls. It
+// reports false (drawing nothing) when any window fails the
+// preconditions, leaving the generic per-sample loop to handle the
+// mixed shapes.
+func (rs *Resampler) drawSeqBlock(windows []series.Series, K int, blk *Block) bool {
+	n := len(windows[0])
+	if n < smallWindow {
+		return false
+	}
+	symTotal := 0
+	for wi, w := range windows {
+		if len(w) != n {
+			return false
+		}
+		m := rs.primed(wi, w)
+		if m == nil || m.hasAsym || (m.hasCertain && m.hasSym) {
+			return false
+		}
+		if m.hasSym {
+			symTotal += n
+		}
+	}
+	b := rs.seqBlockSize(n)
+	nb := (n + b - 1) / b
+	rs.starts = intsFor(rs.starts, nb)
+	z := rs.normScratch(symTotal)
+	// The value/sigma spans are sample-invariant; resolving them once
+	// keeps the K-loop free of metadata pointer chasing. A nil sigma span
+	// marks an all-certain window.
+	if cap(rs.spans) < 2*len(windows) {
+		rs.spans = make([][]float64, 2*len(windows))
+	} else {
+		rs.spans = rs.spans[:2*len(windows)]
+	}
+	for wi := range windows {
+		m := &rs.meta[wi]
+		rs.spans[2*wi] = m.view.X.Vals[m.view.Lo:m.view.Hi]
+		if m.hasSym {
+			rs.spans[2*wi+1] = m.view.X.SigUp[m.view.Lo:m.view.Hi]
+		} else {
+			rs.spans[2*wi+1] = nil
+		}
+	}
+	for s := 0; s < K; s++ {
+		rs.r.IntnFill(rs.starts, n-b+1)
+		if symTotal > 0 {
+			rs.r.NormFill(z)
+		}
+		zoff := 0
+		for wi := range windows {
+			out := blk.Data[wi][s*n : (s+1)*n]
+			vals := rs.spans[2*wi]
+			sig := rs.spans[2*wi+1]
+			if sig == nil {
+				// All-certain: concatenation of value spans.
+				pos := 0
+				for _, start := range rs.starts {
+					end := pos + b
+					if end > n {
+						end = n
+					}
+					copy(out[pos:end], vals[start:start+end-pos])
+					pos = end
+				}
+				continue
+			}
+			zw := z[zoff : zoff+n]
+			zoff += n
+			pos := 0
+			for _, start := range rs.starts {
+				end := pos + b
+				if end > n {
+					end = n
+				}
+				l := end - pos
+				vs, ss := vals[start:start+l], sig[start:start+l]
+				zs, os := zw[pos:end], out[pos:end]
+				// 2x-unrolled: the block length is ⌈√n⌉-ish small, so
+				// halving the loop-carried overhead is worth more here
+				// than in a long stream loop.
+				i := 0
+				for ; i+1 < len(os); i += 2 {
+					os[i] = vs[i] + ss[i]*zs[i]
+					os[i+1] = vs[i+1] + ss[i+1]*zs[i+1]
+				}
+				if i < len(os) {
+					os[i] = vs[i] + ss[i]*zs[i]
+				}
+				pos = end
+			}
+		}
+	}
+	blk.End = rs.r.State()
+	return true
+}
+
+// drawPointBlock is DrawBlock's batched form of drawSampleInto for the
+// Point strategy when every window is primed and class-homogeneous
+// (all-certain or all-symmetric). Point draws consume no indices, so the
+// whole block's randomness is one normal per symmetric position per
+// sample, in sample order then window order then position order; fusing
+// all K·symTotal draws into a single NormFill and hoisting the
+// per-sample dispatch — strategy switch, metadata identity checks,
+// scratch sizing — out of the K-loop emits a stream bit-identical to K
+// drawSampleInto calls. This is the path point-granularity checks hit:
+// their single-point windows are too small for perturbView's batching,
+// so without it every sample pays the full dispatch chain for one draw.
+// Reports false (drawing nothing) when any window is unprimed,
+// asymmetric, or class-mixed, leaving those shapes to the generic
+// per-sample loop.
+func (rs *Resampler) drawPointBlock(windows []series.Series, K int, blk *Block) bool {
+	symTotal := 0
+	for wi, w := range windows {
+		m := rs.primed(wi, w)
+		if m == nil || m.hasAsym || (m.hasCertain && m.hasSym) {
+			return false
+		}
+		if m.hasSym {
+			symTotal += len(w)
+		}
+	}
+	z := rs.normScratch(K * symTotal)
+	if symTotal > 0 {
+		rs.r.NormFill(z)
+	}
+	if len(windows) == 1 {
+		// Unary checks keep one contiguous normal span per block, so the
+		// K-loop collapses to flat array passes; the single-uncertain-point
+		// shape of point-granularity checks reduces to one axpy over K.
+		// The spans stay in locals — adaptive schedules draw many tiny
+		// blocks, and storing slice headers into resampler scratch would
+		// pay a write barrier per block for nothing.
+		m := &rs.meta[0]
+		vals := m.view.X.Vals[m.view.Lo:m.view.Hi]
+		n, data := blk.ns[0], blk.Data[0]
+		switch {
+		case !m.hasSym:
+			for s := 0; s < K; s++ {
+				copy(data[s*n:(s+1)*n], vals)
+			}
+		case n == 1:
+			v, sg := vals[0], m.view.X.SigUp[m.view.Lo]
+			for s := 0; s < K; s++ {
+				data[s] = v + sg*z[s]
+			}
+		default:
+			sig := m.view.X.SigUp[m.view.Lo:m.view.Hi]
+			for s := 0; s < K; s++ {
+				out, zw := data[s*n:(s+1)*n], z[s*n:(s+1)*n]
+				for i := range out {
+					out[i] = vals[i] + sig[i]*zw[i]
+				}
+			}
+		}
+		blk.End = rs.r.State()
+		return true
+	}
+	// The value/sigma spans are sample-invariant, exactly as in
+	// drawSeqBlock; a nil sigma span marks an all-certain window.
+	if cap(rs.spans) < 2*len(windows) {
+		rs.spans = make([][]float64, 2*len(windows))
+	} else {
+		rs.spans = rs.spans[:2*len(windows)]
+	}
+	for wi := range windows {
+		m := &rs.meta[wi]
+		rs.spans[2*wi] = m.view.X.Vals[m.view.Lo:m.view.Hi]
+		if m.hasSym {
+			rs.spans[2*wi+1] = m.view.X.SigUp[m.view.Lo:m.view.Hi]
+		} else {
+			rs.spans[2*wi+1] = nil
+		}
+	}
+	for s := 0; s < K; s++ {
+		zoff := s * symTotal
+		for wi := range windows {
+			n := blk.ns[wi]
+			out := blk.Data[wi][s*n : (s+1)*n]
+			vals := rs.spans[2*wi]
+			sig := rs.spans[2*wi+1]
+			if sig == nil {
+				copy(out, vals)
+				continue
+			}
+			zw := z[zoff : zoff+n]
+			zoff += n
+			for i := range out {
+				out[i] = vals[i] + sig[i]*zw[i]
+			}
+		}
+	}
+	blk.End = rs.r.State()
+	return true
+}
+
+// Rewind resets the resampler's generator to a captured block-boundary
+// state, undoing the draws of an abandoned block.
+func (rs *Resampler) Rewind(st rng.State) { rs.r.SetState(st) }
+
+// WindowSafe reports whether window slot wi (as last primed) is provably
+// finite under perturbation — see Extraction.Safe. Consumers use it to
+// hoist per-draw finiteness checks out of constraint evaluation.
+func (rs *Resampler) WindowSafe(wi int) bool {
+	if wi >= len(rs.meta) || rs.meta[wi].view.X == nil {
+		return false
+	}
+	return rs.meta[wi].view.X.Safe()
 }
 
 // Blocks splits a window into the subsequent blocks of size b = ⌈√n⌉ used

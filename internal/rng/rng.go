@@ -9,13 +9,30 @@
 // secure; it is fast, has a 2^256-1 period, and passes BigCrush.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Rand is a deterministic source of pseudo-random numbers.
 // It is not safe for concurrent use; derive independent streams with Split.
 type Rand struct {
 	s [4]uint64
 }
+
+// State is a snapshot of a generator's position in its stream. It lets
+// batched consumers that draw ahead of a data-dependent stopping point
+// (block evaluation in core) rewind to the exact state a scalar
+// draw-by-draw loop would have left, so over-drawing stays invisible to
+// everything sampled afterwards from the same stream.
+type State [4]uint64
+
+// State returns the generator's current stream position.
+func (r *Rand) State() State { return State(r.s) }
+
+// SetState rewinds (or fast-forwards) the generator to a previously
+// captured position.
+func (r *Rand) SetState(s State) { r.s = [4]uint64(s) }
 
 // New returns a generator seeded from seed via splitmix64, so that nearby
 // seeds still produce decorrelated streams.
@@ -134,20 +151,11 @@ func (r *Rand) Intn(n int) int {
 	return int(hi)
 }
 
-// mul64 returns the 128-bit product of x and y as (hi, lo).
-func mul64(x, y uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	x0, x1 := x&mask32, x>>32
-	y0, y1 := y&mask32, y>>32
-	w0 := x0 * y0
-	t := x1*y0 + w0>>32
-	w1 := t & mask32
-	w2 := t >> 32
-	w1 += x0 * y1
-	hi = x1*y1 + w2 + w1>>32
-	lo = x * y
-	return
-}
+// mul64 returns the 128-bit product of x and y as (hi, lo). bits.Mul64
+// is an intrinsic on 64-bit targets — a single widening multiply — and
+// computes the identical exact product the previous hand-decomposed
+// 32x32 form did, so every Lemire bounded draw is unchanged.
+func mul64(x, y uint64) (hi, lo uint64) { return bits.Mul64(x, y) }
 
 // Ziggurat tables for NormFloat64 (Marsaglia & Tsang 2000), built at
 // init from the unnormalized half-normal density f(x) = exp(-x²/2)
@@ -163,6 +171,40 @@ var (
 	znX [znLayers]float64 // slab right edges, decreasing; znX[127] = 0
 	znF [znLayers]float64 // f(znX[j]), increasing; znF[127] = 1
 	znW [znLayers]float64 // horizontal draw scale per layer index
+	// znQuick packs the two quick-accept operands per layer into one
+	// 16-byte entry, so the hot path costs a single indexed cache line
+	// instead of two table walks. ws pre-folds the 2⁻⁵³ uniform scaling
+	// into the draw scale: both factors of u·2⁻⁵³·W are exact powers-of-two
+	// scalings away from u·W, so the fold moves no rounding step and
+	// x = float64(u>>11) * ws is bit-identical to the two-multiply form.
+	znQuick [znLayers]struct{ ws, x float64 }
+	// znWedge packs everything one wedge test needs into a single entry:
+	// the slab's density bracket (fPrev + fDelta·U forms the test height)
+	// and the secant squeeze bounds. Over a layer's wedge interval
+	// [znX[L], znX[L-1]) the density is bracketed by two parallel lines:
+	// slope·x + lo <= exp(-x²/2) <= slope·x + hi, with lo/hi padded by the
+	// maximum measured secant deviation plus a safety margin. The wedge
+	// can then accept or reject almost every draw with one multiply-add
+	// instead of a math.Exp call; only the sliver between the lines
+	// (≲0.1% of wedge tests) falls through to the exact comparison, so
+	// the decision is always the one math.Exp makes.
+	znWedge [znLayers]struct{ fPrev, fDelta, slope, lo, hi float64 }
+	// znSigned extends znQuick to a 256-entry table indexed by the low
+	// eight bits of the raw draw (layer in bits 0..6, sign in bit 7) with
+	// the sign pre-folded into the draw scale and the accept test moved
+	// to the integer domain. x = float64(u>>11) * ws then lands already
+	// signed — IEEE multiplication by the negated constant is exact
+	// negation, bit for bit, including the -0.0 case — and the quick
+	// accept becomes u>>11 < uThresh, where uThresh is the exact integer
+	// crossover of the float comparison float64(v)·|ws| < znX[L]
+	// (monotone in v, so the crossover is found once at init). The quick
+	// path thus runs with no float compare, no sign transplant, and no
+	// integer↔float domain crossings beyond the one convert-and-multiply
+	// that produces the result itself.
+	znSigned [256]struct {
+		ws      float64
+		uThresh uint64
+	}
 )
 
 func init() {
@@ -186,6 +228,62 @@ func init() {
 	for L := 1; L < znLayers; L++ {
 		znW[L] = znX[L-1]
 	}
+	for L := range znQuick {
+		znQuick[L].ws = znW[L] * 0x1p-53
+		znQuick[L].x = znX[L]
+	}
+	for b := range znSigned {
+		L := b & (znLayers - 1)
+		ws, xL := znQuick[L].ws, znQuick[L].x
+		// Exact crossover of v ↦ float64(v)·ws < xL over v ∈ [0, 2⁵³]:
+		// float64(v) is exact in that range and multiplication by a
+		// positive constant is weakly monotone, so binary search on the
+		// predicate itself reproduces the float comparison exactly.
+		lo, hi := uint64(0), uint64(1)<<53
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if float64(mid)*ws < xL {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		znSigned[b].uThresh = lo
+		if b&znLayers != 0 {
+			ws = -ws
+		}
+		znSigned[b].ws = ws
+	}
+	// Build the wedge squeeze lines. The bracket must hold for the values
+	// math.Exp actually computes, so the deviation from the secant is
+	// measured by sampling math.Exp itself across the interval; the 1e-6
+	// pad covers the between-sample drift (bounded by the curvature times
+	// the interval width times the sampling step, orders of magnitude
+	// smaller) and Exp's own sub-ulp wobble.
+	const wedgeSamples = 2048
+	const wedgeMargin = 1e-6
+	for L := 1; L < znLayers; L++ {
+		a, b := znX[L], znX[L-1]
+		fa, fb := f(a), f(b)
+		slope := (fb - fa) / (b - a)
+		c := fa - slope*a
+		devLo, devHi := 0.0, 0.0
+		for i := 0; i <= wedgeSamples; i++ {
+			x := a + (b-a)*float64(i)/wedgeSamples
+			d := f(x) - (slope*x + c)
+			if -d > devLo {
+				devLo = -d
+			}
+			if d > devHi {
+				devHi = d
+			}
+		}
+		znWedge[L].fPrev = znF[L-1]
+		znWedge[L].fDelta = znF[L] - znF[L-1]
+		znWedge[L].slope = slope
+		znWedge[L].lo = c - devLo - wedgeMargin
+		znWedge[L].hi = c + devHi + wedgeMargin
+	}
 }
 
 // signOf extracts the ziggurat sign decision (bit 7 of the raw draw) as
@@ -207,41 +305,86 @@ func applySign(x float64, s uint64) float64 {
 // slab-interior test, and znX[0] = znR makes it the base-layer test too,
 // so the hot path runs branch-free up to the single accept compare.
 func (r *Rand) NormFloat64() float64 {
+	// The xoshiro step (Uint64) is expanded by hand: it exceeds the
+	// compiler's inlining budget, and this is the hottest call site in
+	// the system — one draw per uncertain point per resample.
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	m := s1 * 5
+	u := (m<<7 | m>>57) * 9
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3<<45|s3>>19
+	// Bits 11..63 form the uniform; they do not overlap the 8 bits
+	// used below (layer: low 7 bits, sign: bit 7). The sign-folded table
+	// keeps the accept test in the integer domain and emits the signed
+	// variate with a single multiply; see znSigned.
+	e := &znSigned[u&255]
+	if u>>11 < e.uThresh {
+		return float64(u>>11) * e.ws
+	}
+	var v float64
+	v, s0, s1, s2, s3 = normRare(r.s[0], r.s[1], r.s[2], r.s[3], u, float64(u>>11)*znQuick[u&(znLayers-1)].ws)
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	return v
+}
+
+// uniform converts a raw 64-bit draw to the [0, 1) value Float64 would
+// produce from it: same bits, same single rounding.
+func uniform(u uint64) float64 { return float64(u>>11) / (1 << 53) }
+
+// normRare finishes a normal draw whose quick-accept test failed: the
+// wedge between slab box and density curve, the Marsaglia tail, and any
+// full retries they trigger. It is kept out of line — the ~3% of draws
+// that land here pay a call, and in exchange the quick path of
+// NormFloat64/NormFill carries no math.Exp/math.Log call sites, which
+// otherwise force the register allocator to spill the generator state
+// and loop carriers across every iteration. The generator state is
+// threaded through arguments and results rather than *Rand so the call
+// moves no memory: under the register ABI both directions stay in
+// registers, and the batched callers keep their state words live.
+//
+//go:noinline
+func normRare(s0, s1, s2, s3, u uint64, x float64) (float64, uint64, uint64, uint64, uint64) {
 	for {
-		// The xoshiro step (Uint64) is expanded by hand: it exceeds the
-		// compiler's inlining budget, and this is the hottest call site in
-		// the system — one draw per uncertain point per resample.
-		s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
-		m := s1 * 5
-		u := (m<<7 | m>>57) * 9
-		t := s1 << 17
-		s2 ^= s0
-		s3 ^= s1
-		s1 ^= s2
-		s0 ^= s3
-		s2 ^= t
-		r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3<<45|s3>>19
-		L := int(u & (znLayers - 1)) // layer index: low 7 bits
-		// Bits 11..63 form the uniform; they do not overlap the 8 bits
-		// used above (sign: bit 7).
-		x := float64(u>>11) / (1 << 53) * znW[L]
-		if x < znX[L] {
-			return applySign(x, signOf(u))
-		}
-		if L > 0 {
-			// Wedge between the slab box and the curve.
-			if znF[L-1]+(znF[L]-znF[L-1])*r.Float64() < math.Exp(-0.5*x*x) {
-				return applySign(x, signOf(u))
+		var w uint64
+		if L := int(u & (znLayers - 1)); L > 0 {
+			// Wedge between the slab box and the curve: squeeze first,
+			// exact math.Exp comparison only inside the squeeze sliver.
+			// fPrev + fDelta·U is the same two-operation height the
+			// unpacked znF form computed (fDelta is the identical
+			// subtraction, done once at init).
+			w, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+			wd := &znWedge[L]
+			t := wd.fPrev + wd.fDelta*uniform(w)
+			sx := wd.slope * x
+			if t < sx+wd.lo {
+				return applySign(x, signOf(u)), s0, s1, s2, s3
 			}
-			continue
-		}
-		// Tail beyond znR: Marsaglia's exponential wedge.
-		for {
-			ex := -math.Log(nonZero(r.Float64())) / znR
-			ey := -math.Log(nonZero(r.Float64()))
-			if ey+ey >= ex*ex {
-				return applySign(znR+ex, signOf(u))
+			if t < sx+wd.hi && t < math.Exp(-0.5*x*x) {
+				return applySign(x, signOf(u)), s0, s1, s2, s3
 			}
+		} else {
+			// Tail beyond znR: Marsaglia's exponential wedge.
+			for {
+				var w2 uint64
+				w, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+				w2, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+				ex := -math.Log(nonZero(uniform(w))) / znR
+				ey := -math.Log(nonZero(uniform(w2)))
+				if ey+ey >= ex*ex {
+					return applySign(znR+ex, signOf(u)), s0, s1, s2, s3
+				}
+			}
+		}
+		u, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+		q := &znQuick[u&(znLayers-1)]
+		x = float64(u>>11) * q.ws
+		if x < q.x {
+			return applySign(x, signOf(u)), s0, s1, s2, s3
 		}
 	}
 }
@@ -255,47 +398,69 @@ func (r *Rand) NormFloat64() float64 {
 // runs of symmetric points.
 func (r *Rand) NormFill(dst []float64) {
 	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
-	for i := range dst {
-		for {
-			var u uint64
-			u, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
-			L := int(u & (znLayers - 1))
-			x := float64(u>>11) / (1 << 53) * znW[L]
-			if x < znX[L] {
-				// znX[0] = znR, so this accepts on every layer; the
-				// branchless sign stamp avoids the unpredictable
-				// negate branch (see applySign).
-				dst[i] = applySign(x, signOf(u))
-				break
-			}
-			if L > 0 {
-				// Wedge between the slab box and the curve: one extra
-				// uniform, same position in the stream as the Float64
-				// call in NormFloat64.
-				var w uint64
-				w, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
-				wu := float64(w>>11) / (1 << 53)
-				if znF[L-1]+(znF[L]-znF[L-1])*wu < math.Exp(-0.5*x*x) {
-					dst[i] = applySign(x, signOf(u))
-					break
-				}
-				continue
-			}
-			// Tail beyond znR: Marsaglia's exponential wedge, two
-			// uniforms per attempt.
-			done := false
-			for !done {
-				var a, b uint64
-				a, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
-				b, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
-				ex := -math.Log(nonZero(float64(a>>11)/(1<<53))) / znR
-				ey := -math.Log(nonZero(float64(b>>11) / (1 << 53)))
-				if ey+ey >= ex*ex {
-					dst[i] = applySign(znR+ex, signOf(u))
-					done = true
-				}
-			}
-			break
+	// The loop is unrolled 2x: the xoshiro state recurrence is a serial
+	// dependency chain, so halving the per-iteration loop overhead (index
+	// bookkeeping plus the compiler's state-register rotation) is the only
+	// slack left around it.
+	i := 0
+	for ; i+1 < len(dst); i += 2 {
+		m := s1 * 5
+		u := (m<<7 | m>>57) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = s3<<45 | s3>>19
+		e := &znSigned[u&255]
+		if v := u >> 11; v < e.uThresh {
+			// The integer accept test covers every layer (znX[0] = znR)
+			// and the sign-folded scale emits the signed variate in one
+			// multiply — no float compare, no sign transplant (see
+			// znSigned).
+			dst[i] = float64(v) * e.ws
+		} else {
+			// Wedge or tail: the shared out-of-line finisher consumes
+			// the stream exactly as the inline wedge/tail used to,
+			// threading the state words through registers. Keeping
+			// math.Exp and math.Log call sites out of this loop is what
+			// lets the quick path run call-free with the state in
+			// registers. normRare works on the unsigned |x| of the
+			// positive-scale table and stamps the sign on its result.
+			dst[i], s0, s1, s2, s3 = normRare(s0, s1, s2, s3, u, float64(v)*znQuick[u&(znLayers-1)].ws)
+		}
+		m = s1 * 5
+		u = (m<<7 | m>>57) * 9
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = s3<<45 | s3>>19
+		e = &znSigned[u&255]
+		if v := u >> 11; v < e.uThresh {
+			dst[i+1] = float64(v) * e.ws
+		} else {
+			dst[i+1], s0, s1, s2, s3 = normRare(s0, s1, s2, s3, u, float64(v)*znQuick[u&(znLayers-1)].ws)
+		}
+	}
+	if i < len(dst) {
+		m := s1 * 5
+		u := (m<<7 | m>>57) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = s3<<45 | s3>>19
+		e := &znSigned[u&255]
+		if v := u >> 11; v < e.uThresh {
+			dst[i] = float64(v) * e.ws
+		} else {
+			dst[i], s0, s1, s2, s3 = normRare(s0, s1, s2, s3, u, float64(v)*znQuick[u&(znLayers-1)].ws)
 		}
 	}
 	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3

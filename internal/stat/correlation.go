@@ -13,14 +13,48 @@ func Pearson(x, y []float64) float64 {
 	if n != len(y) || n < 2 {
 		return math.NaN()
 	}
-	mx, my := Mean(x), Mean(y)
-	var sxy, sxx, syy float64
-	for i := 0; i < n; i++ {
-		dx, dy := x[i]-mx, y[i]-my
-		sxy += dx * dy
-		sxx += dx * dx
-		syy += dy * dy
+	// Both passes run four independent partial sums so the serial
+	// float-add latency chains overlap; Alg. 1 calls Pearson once per
+	// resample, which makes it the hottest statistic in the evaluator.
+	// The combine order differs from a left-to-right sum by ulps, which
+	// the correlation contract absorbs (no caller compares r exactly).
+	var m0, m1, m2, m3, w0, w1, w2, w3 float64
+	i := 0
+	for ; i+3 < n; i += 4 {
+		m0 += x[i]
+		m1 += x[i+1]
+		m2 += x[i+2]
+		m3 += x[i+3]
+		w0 += y[i]
+		w1 += y[i+1]
+		w2 += y[i+2]
+		w3 += y[i+3]
 	}
+	for ; i < n; i++ {
+		m0 += x[i]
+		w0 += y[i]
+	}
+	mx := ((m0 + m1) + (m2 + m3)) / float64(n)
+	my := ((w0 + w1) + (w2 + w3)) / float64(n)
+	var sxy0, sxy1, sxx0, sxx1, syy0, syy1 float64
+	i = 0
+	for ; i+1 < n; i += 2 {
+		dx0, dy0 := x[i]-mx, y[i]-my
+		dx1, dy1 := x[i+1]-mx, y[i+1]-my
+		sxy0 += dx0 * dy0
+		sxy1 += dx1 * dy1
+		sxx0 += dx0 * dx0
+		sxx1 += dx1 * dx1
+		syy0 += dy0 * dy0
+		syy1 += dy1 * dy1
+	}
+	if i < n {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy0 += dx * dy
+		sxx0 += dx * dx
+		syy0 += dy * dy
+	}
+	sxy, sxx, syy := sxy0+sxy1, sxx0+sxx1, syy0+syy1
 	if sxx == 0 || syy == 0 {
 		return math.NaN()
 	}

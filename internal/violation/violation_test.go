@@ -360,3 +360,17 @@ func TestReportPrimaryEmpty(t *testing.T) {
 		t.Error("empty report primary should be E1")
 	}
 }
+
+// TestNewAnalyzerRejectsBadParams: parameter validation must surface
+// through the violation-analysis entry point too.
+func TestNewAnalyzerRejectsBadParams(t *testing.T) {
+	if _, err := NewAnalyzer(core.Params{CheckInterval: -2}, 1); err == nil {
+		t.Error("negative check interval accepted")
+	}
+	if _, err := NewAnalyzer(core.Params{MinSamples: 9, MaxSamples: 3}, 1); err == nil {
+		t.Error("burn-in beyond budget accepted")
+	}
+	if _, err := NewAnalyzer(core.Params{CheckInterval: 3, MinSamples: 2}, 1); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
