@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke benchjson benchcmp profile
+.PHONY: all build vet test race check bench bench-smoke benchjson benchcmp fuzz profile
 
 all: check
 
@@ -29,11 +29,23 @@ bench:
 # bench-smoke executes each hot-path/ablation benchmark body a fixed
 # handful of times — correctness of the workloads, not timing.
 bench-smoke:
-	$(GO) test -bench='Evaluate|Draw|Kernel|Ablation|StreamCheck|StreamThroughput|Explain|Summarize' -benchtime=10x -run=^$$ .
+	$(GO) test -bench='Evaluate|Draw|Kernel|Ablation|StreamCheck|StreamThroughput|Explain|Summarize|Checkpoint' -benchtime=10x -run=^$$ .
+
+# fuzz smoke-runs the hostile-input fuzz targets for FUZZTIME each: the
+# snapshot codec (corrupt checkpoints must error, never panic, and
+# valid ones must re-encode bit-identically), the kernel/closure
+# evaluation parity, and the CSV reader. Long exploratory runs: raise
+# FUZZTIME or run `go test -fuzz` on one target directly.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run='^$$' -fuzz=FuzzKernelClosureParity -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzKernelScalarParity -fuzztime=$(FUZZTIME) ./internal/resample
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/series
 
 # benchjson regenerates the machine-readable hot-path benchmark record.
 benchjson:
-	$(GO) run ./cmd/soundbench -benchjson BENCH_PR6.json
+	$(GO) run ./cmd/soundbench -benchjson BENCH_PR7.json
 
 # benchcmp diffs the two most recent benchmark records (BENCH_*.json in
 # natural version order) spec by spec — ns/op, allocs/op, and domain

@@ -124,6 +124,15 @@ func BenchmarkStreamThroughput(b *testing.B) {
 	b.Run("batch256", func(b *testing.B) { bench.StreamThroughput(b, 256) })
 }
 
+// BenchmarkCheckpoint measures the deterministic state lifecycle's
+// snapshot codec on a 256-group keyed operator: snapshot is the
+// in-barrier serialization stall, restore the decode-and-rehydrate
+// resume cost after a kill.
+func BenchmarkCheckpoint(b *testing.B) {
+	b.Run("snapshot", func(b *testing.B) { bench.Checkpoint(b, false) })
+	b.Run("restore", func(b *testing.B) { bench.Checkpoint(b, true) })
+}
+
 // BenchmarkExplain measures one change-point explanation (§V-B what-if
 // re-evaluations) for unary and binary checks.
 func BenchmarkExplain(b *testing.B) {

@@ -11,6 +11,18 @@
 //	soundcheck -constraint corr -threshold 0.2 -window time:30 a.csv b.csv
 //	soundcheck -constraint range -min 0 -max 1 -naive normalized.csv
 //	soundcheck -constraint gt -threshold 10 -window time:20 -explain -parallel series.csv
+//
+// Streaming replays can be checkpointed and resumed: -checkpoint FILE
+// snapshots the full operator state every -checkpoint-every events at a
+// quiescent stream barrier, and -restore FILE resumes a killed replay
+// from the snapshot, producing outcome counts bit-identical to an
+// uninterrupted run:
+//
+//	soundcheck -stream -checkpoint state.ckp -checkpoint-every 1000 \
+//	    -constraint fraction -min 0 -max 13 -threshold 0.8 -window time:12:5 series.csv
+//	# ... killed mid-stream; resume:
+//	soundcheck -stream -restore state.ckp \
+//	    -constraint fraction -min 0 -max 13 -threshold 0.8 -window time:12:5 series.csv
 package main
 
 import (
@@ -24,6 +36,7 @@ import (
 
 	"sound"
 	"sound/internal/checker"
+	"sound/internal/checkpoint"
 	"sound/internal/stream"
 )
 
@@ -47,6 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Uint64("seed", 1, "deterministic seed")
 		naive      = fs.Bool("naive", false, "use the naive (quality-ignorant) evaluation")
 		streaming  = fs.Bool("stream", false, "replay the series through the streaming engine and evaluate the check online (summary only)")
+		ckptPath   = fs.String("checkpoint", "", "with -stream: snapshot operator state to this file every -checkpoint-every events")
+		ckptEvery  = fs.Int("checkpoint-every", 1000, "events between checkpoints (with -checkpoint)")
+		restore    = fs.String("restore", "", "with -stream: resume the replay from this snapshot file")
 		explain    = fs.Bool("explain", false, "run the violation analysis (change points, explanations E1-E6) on the results")
 		parallel   = fs.Bool("parallel", false, "fan the violation analysis out over GOMAXPROCS workers (with -explain; output is identical to sequential)")
 		verbose    = fs.Bool("v", false, "print every window outcome, not just the summary")
@@ -85,12 +101,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *explain && (*naive || *streaming) {
 		return fail(stderr, fmt.Errorf("-explain needs the full SOUND evaluation (drop -naive/-stream)"))
 	}
+	if (*ckptPath != "" || *restore != "") && !*streaming {
+		return fail(stderr, fmt.Errorf("-checkpoint/-restore need -stream"))
+	}
+	if *ckptPath != "" && *ckptEvery <= 0 {
+		return fail(stderr, fmt.Errorf("-checkpoint-every %d out of range (want >= 1)", *ckptEvery))
+	}
 
 	counts := map[sound.Outcome]int{}
 	var results []sound.Result
 	if *streaming {
 		var err error
-		counts, err = runStream(check, ss, sound.Params{Credibility: *cred, MaxSamples: *maxSamples}, *seed, *naive)
+		counts, err = runStream(check, ss, sound.Params{Credibility: *cred, MaxSamples: *maxSamples}, *seed, *naive, *ckptPath, *ckptEvery, *restore)
 		if err != nil {
 			return fail(stderr, err)
 		}
@@ -156,9 +178,15 @@ func fail(stderr io.Writer, err error) int {
 // input files are merged in time order into one source, keyed by file
 // path, and routed to the check inputs by key. The outcome counts match
 // what the check's windows produce online.
-func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed uint64, naive bool) (map[sound.Outcome]int, error) {
+//
+// With ckptPath the source requests a drain-to-barrier snapshot every
+// `every` events and atomically writes the operator state plus the
+// replay offset; with restorePath the state is loaded back, the first
+// offset events are skipped, and the resumed replay is bit-identical to
+// an uninterrupted one.
+func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed uint64, naive bool, ckptPath string, every int, restorePath string) (map[sound.Outcome]int, error) {
 	out := &checker.StreamOutcomes{}
-	factory, err := checker.NewStreamChecker(checker.StreamCheck{
+	cfg := checker.StreamCheck{
 		Check:   check,
 		Params:  params,
 		Seed:    seed,
@@ -166,13 +194,43 @@ func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed u
 		Forward: true,
 		Out:     out,
 		Route:   checker.ByInputKeys(check.SeriesNames...),
-	})
+	}
+	var reg *checker.StreamRegistry
+	if ckptPath != "" || restorePath != "" {
+		reg = checker.NewStreamRegistry()
+		cfg.Registry = reg
+	}
+	factory, err := checker.NewStreamChecker(cfg)
 	if err != nil {
 		return nil, err
 	}
-	g := stream.NewGraph()
-	src := g.AddSource("csv", func(emit stream.EmitFunc) {
+	fp := streamFingerprint(check, params, seed, naive)
+	var offset uint64
+	if restorePath != "" {
+		data, err := os.ReadFile(restorePath)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := checkpoint.NewDecoder(data)
+		if err != nil {
+			return nil, err
+		}
+		if got := dec.String(); dec.Err() == nil && got != fp {
+			return nil, fmt.Errorf("snapshot %s was written by a different run configuration (%q, this run is %q)", restorePath, got, fp)
+		}
+		offset = dec.Uvarint()
+		if err := reg.DecodeFrom(dec); err != nil {
+			return nil, fmt.Errorf("%s: %w", restorePath, err)
+		}
+	}
+
+	// Time-ordered merge of the input series; sent counts the logical
+	// event position so a restored replay skips what the snapshot run
+	// already processed.
+	var snapErr error
+	replay := func(emit stream.EmitFunc, barrier stream.BarrierFunc) {
 		idx := make([]int, len(ss))
+		var sent uint64
 		for {
 			best := -1
 			for i, s := range ss {
@@ -185,9 +243,28 @@ func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed u
 			}
 			p := ss[best][idx[best]]
 			idx[best]++
+			sent++
+			if sent <= offset {
+				continue
+			}
 			emit(stream.Event{Time: p.T, Key: check.SeriesNames[best], Value: p.V, SigUp: p.SigUp, SigDown: p.SigDown})
+			if ckptPath != "" && every > 0 && sent%uint64(every) == 0 {
+				pos := sent
+				barrier(func() {
+					if err := writeSnapshot(ckptPath, fp, pos, reg); err != nil && snapErr == nil {
+						snapErr = err
+					}
+				})
+			}
 		}
-	})
+	}
+	g := stream.NewGraph()
+	var src *stream.Node
+	if reg != nil {
+		src = g.AddCheckpointSource("csv", replay)
+	} else {
+		src = g.AddSource("csv", func(emit stream.EmitFunc) { replay(emit, nil) })
+	}
 	chk := g.AddOperator("check", 1, factory)
 	if err := g.Connect(src, chk); err != nil {
 		return nil, err
@@ -198,12 +275,39 @@ func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed u
 	if _, err := g.Run(); err != nil {
 		return nil, err
 	}
+	if snapErr != nil {
+		return nil, fmt.Errorf("writing checkpoint: %w", snapErr)
+	}
 	c := out.Counts()
 	return map[sound.Outcome]int{
 		sound.Satisfied:    c.Satisfied,
 		sound.Violated:     c.Violated,
 		sound.Inconclusive: c.Inconclusive,
 	}, nil
+}
+
+// streamFingerprint identifies a replay configuration: restoring a
+// snapshot under different inputs, parameters, or seeds would resume
+// into a stream it does not belong to, so the mismatch fails loudly.
+func streamFingerprint(check sound.Check, params sound.Params, seed uint64, naive bool) string {
+	return fmt.Sprintf("soundcheck|%s|%s|%v|c=%g|n=%d|seed=%d|naive=%t|%s",
+		check.Name, check.Window, check.Constraint.Granularity, params.Credibility,
+		params.MaxSamples, seed, naive, strings.Join(check.SeriesNames, ","))
+}
+
+// writeSnapshot persists one barrier snapshot: fingerprint, replay
+// offset, and the registry payload, written to a temp file and renamed
+// so a crash mid-write never corrupts the previous snapshot.
+func writeSnapshot(path, fp string, offset uint64, reg *checker.StreamRegistry) error {
+	enc := checkpoint.NewEncoder()
+	enc.String(fp)
+	enc.Uvarint(offset)
+	reg.EncodeTo(enc)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, enc.Finish(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func buildConstraint(name string, min, max, threshold float64) (sound.Constraint, int, error) {

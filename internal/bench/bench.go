@@ -7,11 +7,13 @@ package bench
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 
 	"sound"
 	"sound/internal/checker"
+	"sound/internal/checkpoint"
 	"sound/internal/core"
 	"sound/internal/resample"
 	"sound/internal/rng"
@@ -62,6 +64,8 @@ func Specs() []Spec {
 		{"Explain/binary", func(b *testing.B) { Explain(b, 2) }},
 		{"Summarize/sequential", func(b *testing.B) { Summarize(b, 0) }},
 		{"Summarize/parallel", func(b *testing.B) { Summarize(b, runtime.GOMAXPROCS(0)) }},
+		{"Checkpoint/snapshot", func(b *testing.B) { Checkpoint(b, false) }},
+		{"Checkpoint/restore", func(b *testing.B) { Checkpoint(b, true) }},
 	}
 }
 
@@ -261,6 +265,72 @@ func StreamCheckKeyed(b *testing.B) {
 		p.Flush(emit)
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(events)), "ns/event")
+}
+
+// Checkpoint measures the deterministic state lifecycle's snapshot
+// codec (DESIGN.md §4i) on a populated keyed operator: 256 live groups
+// of a tumbling uncertain-range check, each mid-window with buffered
+// points. snapshot prices StreamRegistry.EncodeTo — the work done
+// inside a stream barrier, and so the stall a running graph pays per
+// checkpoint. restore prices decoding the document and re-hydrating a
+// fresh worker (DecodeFrom plus registration), the resume cost after a
+// kill. The ns/group metric normalizes by live group count.
+func Checkpoint(b *testing.B, restore bool) {
+	ck := core.Check{
+		Name:        "range",
+		Constraint:  core.Range(0, 100),
+		SeriesNames: []string{"s"},
+		Window:      sound.TimeWindow{Size: 60},
+	}
+	const nGroups = 256
+	reg := checker.NewStreamRegistry()
+	factory, err := checker.NewStreamChecker(checker.StreamCheck{
+		Check:    ck,
+		Params:   core.Params{Credibility: 0.95, MaxSamples: 100},
+		Seed:     7,
+		Registry: reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := factory()
+	p.(stream.WorkerIndexed).SetWorkerIndex(0)
+	emit := func(stream.Event) {}
+	for i := 0; i < nGroups*16; i++ {
+		p.Process(stream.Event{
+			Time:    float64(i / nGroups),
+			Key:     fmt.Sprintf("k%04d", i%nGroups),
+			Value:   50,
+			SigUp:   2,
+			SigDown: 2,
+		}, emit)
+	}
+	enc := checkpoint.NewEncoder()
+	reg.EncodeTo(enc)
+	snap := enc.Finish()
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	if restore {
+		for i := 0; i < b.N; i++ {
+			dec, err := checkpoint.NewDecoder(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := reg.DecodeFrom(dec); err != nil {
+				b.Fatal(err)
+			}
+			w := factory()
+			w.(stream.WorkerIndexed).SetWorkerIndex(0)
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			e := checkpoint.NewEncoder()
+			reg.EncodeTo(e)
+			e.Finish()
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nGroups), "ns/group")
 }
 
 // StreamThroughput measures end-to-end ingest throughput through a real

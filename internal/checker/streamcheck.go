@@ -25,10 +25,15 @@ import (
 // between offline checking and online instrumentation — the batch/stream
 // unification of §IV-A.
 
-// StreamOutcomes accumulates check outcomes observed online. Safe for
-// concurrent use by multiple operator workers.
+// StreamOutcomes accumulates check outcomes observed online, plus the
+// state-lifecycle counters of the eviction layer. Safe for concurrent
+// use by multiple operator workers.
 type StreamOutcomes struct {
 	satisfied, violated, inconclusive atomic.Int64
+	// Lifecycle counters (DESIGN.md §4i): groups reclaimed by the
+	// eviction policy, events dropped below the fired horizon, and
+	// events rejected by the admission policy.
+	evictedGroups, droppedLate, rejectedEvents atomic.Int64
 }
 
 // Add records one outcome.
@@ -49,6 +54,29 @@ func (so *StreamOutcomes) Counts() OutcomeCounts {
 		Satisfied:    int(so.satisfied.Load()),
 		Violated:     int(so.violated.Load()),
 		Inconclusive: int(so.inconclusive.Load()),
+	}
+}
+
+// LifecycleCounts reports the state-lifecycle events of a stream run.
+type LifecycleCounts struct {
+	// EvictedGroups counts window groups reclaimed by the eviction
+	// policy (idle TTL, group cap, or byte budget).
+	EvictedGroups int
+	// DroppedLate counts events below their group's fired horizon:
+	// every window containing them had already fired, so they were
+	// forwarded but not buffered.
+	DroppedLate int
+	// RejectedEvents counts events refused by the admission policy
+	// (OnPressure declined to evict for them).
+	RejectedEvents int
+}
+
+// Lifecycle returns the accumulated lifecycle counters.
+func (so *StreamOutcomes) Lifecycle() LifecycleCounts {
+	return LifecycleCounts{
+		EvictedGroups:  int(so.evictedGroups.Load()),
+		DroppedLate:    int(so.droppedLate.Load()),
+		RejectedEvents: int(so.rejectedEvents.Load()),
 	}
 }
 
@@ -121,6 +149,17 @@ type StreamCheck struct {
 	// defaults to ByEventKey for unary checks; checks of arity > 1
 	// must set it.
 	Route RouteFunc
+	// Evict bounds the operator's keyed state (zero value: keep every
+	// group forever, the pre-lifecycle behavior).
+	Evict EvictionPolicy
+	// Registry, when set, makes the operator checkpointable: workers
+	// register their state with it, and a snapshot taken at a stream
+	// barrier can be restored into a fresh operator. One registry serves
+	// exactly one operator.
+	Registry *StreamRegistry
+	// OnOutcome, when set, observes every (group key, outcome) pair in
+	// evaluation order, on the evaluating worker's goroutine.
+	OnOutcome func(key string, o core.Outcome)
 }
 
 // NewStreamChecker compiles the check into a core.CheckPlan and returns
@@ -159,18 +198,30 @@ func NewStreamChecker(cfg StreamCheck) (func() stream.Processor, error) {
 	// worker count and batch size — the idle workers that a higher
 	// parallelism adds cannot shift the active worker's seed.
 	var workerSeq atomic.Uint64
+	seq := &workerSeq
+	if cfg.Registry != nil {
+		// A checkpointable operator keeps its seed-slot counter in the
+		// registry, so a restored run resumes the claim sequence instead
+		// of restarting it.
+		seq = &cfg.Registry.seq
+		cfg.Registry.bind(cfg.Out)
+	}
 	return func() stream.Processor {
 		return &streamChecker{
-			plan:    plan,
-			seq:     &workerSeq,
-			check:   plan.Check(),
-			asg:     asg,
-			arity:   arity,
-			naive:   cfg.Naive,
-			forward: cfg.Forward,
-			out:     cfg.Out,
-			route:   route,
-			groups:  map[string]*groupState{},
+			plan:      plan,
+			seq:       seq,
+			check:     plan.Check(),
+			asg:       asg,
+			arity:     arity,
+			naive:     cfg.Naive,
+			forward:   cfg.Forward,
+			out:       cfg.Out,
+			route:     route,
+			groups:    map[string]*groupState{},
+			evict:     cfg.Evict,
+			reg:       cfg.Registry,
+			onOutcome: cfg.OnOutcome,
+			worker:    -1,
 		}
 	}, nil
 }
@@ -232,6 +283,23 @@ type streamChecker struct {
 	out     *StreamOutcomes
 	route   RouteFunc
 	groups  map[string]*groupState
+	// State lifecycle (DESIGN.md §4i): worker is the engine-assigned
+	// slot (-1 outside a checkpointable graph), evict the memory policy,
+	// reg the checkpoint registry, onOutcome the outcome observer.
+	worker    int
+	evict     EvictionPolicy
+	reg       *StreamRegistry
+	onOutcome func(key string, o core.Outcome)
+	// LRU list of live groups (head = most recently touched), maintained
+	// for every stateful windowing kind so eviction and checkpointing see
+	// a deterministic recency order, and the accounted footprint of all
+	// live groups (maintained only while the policy consumes it — see
+	// trackBytes).
+	lruHead, lruTail *groupState
+	liveBytes        int64
+	// opWatermark is the worker-level event-time high-water mark that
+	// drives idle-group eviction.
+	opWatermark float64
 	// lastKey/lastG cache the most recent group lookup: events arrive in
 	// key runs (especially frame-at-a-time on keyed edges), so most
 	// lookups hit the cache instead of the map.
@@ -257,6 +325,15 @@ func (c *streamChecker) views(k int) []resample.View {
 // groupState is the window state of one route group (one key, or the
 // global group "").
 type groupState struct {
+	// key is the route group's identity, fixed at creation.
+	key string
+	// lastT is the maximum event time this group has received; the
+	// eviction sweep compares it against the worker's watermark.
+	lastT float64
+	// bytes is the group's last accounted footprint (see footprint).
+	bytes int64
+	// prev/next link the worker's LRU list (head = most recent).
+	prev, next *groupState
 	// Time-window grid state. The grid is anchored at origin, the group's
 	// first observed timestamp, and replicates the batch TimeWindow loop
 	// verbatim: starts advance from origin by slide with the same float
@@ -303,11 +380,22 @@ func (c *streamChecker) group(key string) *groupState {
 	}
 	g := c.groups[key]
 	if g == nil {
-		g = &groupState{}
+		g = &groupState{key: key}
 		c.groups[key] = g
+		if c.trackGroups() {
+			c.lruPushFront(g)
+		}
 	}
 	c.lastKey, c.lastG = key, g
 	return g
+}
+
+// peek returns the group without creating it.
+func (c *streamChecker) peek(key string) *groupState {
+	if c.lastG != nil && c.lastKey == key {
+		return c.lastG
+	}
+	return c.groups[key]
 }
 
 func (g *groupState) inputs(arity int) []series.Series {
@@ -344,11 +432,25 @@ func (c *streamChecker) ProcessFrame(evs []stream.Event, emit stream.EmitFunc) {
 }
 
 // ingest routes one event into its window group. It is the shared body
-// of Process and ProcessFrame.
+// of Process and ProcessFrame. Around the window dispatch it runs the
+// state lifecycle: advance the worker watermark (sweeping idle groups),
+// admit the event's group under the eviction policy, and re-account the
+// group's footprint after the event lands.
 func (c *streamChecker) ingest(ev stream.Event) {
 	input, key, ok := c.route(ev)
 	if !ok || input < 0 || input >= c.arity {
 		return
+	}
+	stateful := c.statefulGroups()
+	if c.evict.enabled() && stateful {
+		if ev.Time > c.opWatermark {
+			c.opWatermark = ev.Time
+			c.sweepIdle()
+		}
+		if !c.admit(key) {
+			c.noteRejected()
+			return
+		}
 	}
 	p := series.Point{T: ev.Time, V: ev.Value, SigUp: ev.SigUp, SigDown: ev.SigDown}
 	switch c.asg.Kind {
@@ -365,6 +467,11 @@ func (c *streamChecker) ingest(ev stream.Event) {
 	case core.KindSession:
 		c.processSession(key, p)
 	}
+	if stateful && c.trackGroups() {
+		if g := c.peek(key); g != nil {
+			c.touch(g, ev.Time)
+		}
+	}
 }
 
 // processPoint evaluates single-point tuples. Unary checks evaluate
@@ -378,7 +485,7 @@ func (c *streamChecker) processPoint(key string, input int, p series.Point) {
 		}
 		c.pointBuf[0] = p
 		c.winBuf[0] = c.pointBuf
-		c.evaluate(core.WindowTuple{Windows: c.winBuf[:], Start: p.T, End: p.T})
+		c.evaluate(key, core.WindowTuple{Windows: c.winBuf[:], Start: p.T, End: p.T})
 		return
 	}
 	g := c.group(key)
@@ -402,7 +509,7 @@ func (c *streamChecker) processPoint(key string, input int, p series.Point) {
 			ws[i] = g.pend[i][:1:1]
 			g.pend[i] = g.pend[i][1:]
 		}
-		c.evaluate(core.WindowTuple{Windows: ws, Start: ws[0][0].T, End: ws[0][0].T})
+		c.evaluate(key, core.WindowTuple{Windows: ws, Start: ws[0][0].T, End: ws[0][0].T})
 	}
 }
 
@@ -429,6 +536,7 @@ func (c *streamChecker) processTime(key string, input int, p series.Point) {
 	if p.T < g.nextStart {
 		// Every window containing p (starts in (p.T−size, p.T]) already
 		// fired; dropping keeps each window's boundaries evaluated once.
+		c.noteDroppedLate()
 		return
 	}
 	if g.raw == nil {
@@ -502,7 +610,7 @@ func (c *streamChecker) fireDueTimeWindows(g *groupState, final bool) {
 				ext[i] = g.ext[i].Slice(lo, lo+len(ws[i]))
 			}
 		}
-		c.evaluate(core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end})
+		c.evaluate(g.key, core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end})
 		g.fired = true
 		g.nextStart += c.asg.Slide
 		for i := range g.raw {
@@ -574,7 +682,7 @@ func (c *streamChecker) processCount(key string, input int, p series.Point) {
 			}
 		}
 		start, end := ws[0][0].T, ws[0][len(ws[0])-1].T
-		c.evaluate(core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end})
+		c.evaluate(g.key, core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end})
 		g.nextIdx += c.asg.CountSlide
 		for i := range bufs {
 			n := g.nextIdx - g.drop[i]
@@ -616,7 +724,7 @@ func (c *streamChecker) fireSession(g *groupState) {
 	if len(g.bufs[0]) > 0 {
 		sortByTime(g.bufs[0])
 		c.winBuf[0] = g.bufs[0]
-		c.evaluate(core.WindowTuple{Windows: c.winBuf[:], Start: g.sessStart, End: g.sessPrev})
+		c.evaluate(g.key, core.WindowTuple{Windows: c.winBuf[:], Start: g.sessStart, End: g.sessPrev})
 		g.bufs[0] = g.bufs[0][:0]
 	}
 	g.sessOpen = false
@@ -650,7 +758,7 @@ func (c *streamChecker) Flush(stream.EmitFunc) {
 			}
 			if nonEmpty {
 				start, end := span(g.bufs)
-				c.evaluate(core.WindowTuple{Windows: g.bufs, Start: start, End: end})
+				c.evaluate(g.key, core.WindowTuple{Windows: g.bufs, Start: start, End: end})
 			}
 		case core.KindSession:
 			if g.sessOpen {
@@ -660,7 +768,7 @@ func (c *streamChecker) Flush(stream.EmitFunc) {
 	}
 }
 
-func (c *streamChecker) evaluate(tuple core.WindowTuple) {
+func (c *streamChecker) evaluate(key string, tuple core.WindowTuple) {
 	var o core.Outcome
 	if c.naive {
 		o = core.EvaluateNaive(c.check.Constraint, tuple)
@@ -674,6 +782,9 @@ func (c *streamChecker) evaluate(tuple core.WindowTuple) {
 	}
 	if c.out != nil {
 		c.out.Add(o)
+	}
+	if c.onOutcome != nil {
+		c.onOutcome(key, o)
 	}
 }
 

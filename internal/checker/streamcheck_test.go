@@ -15,8 +15,11 @@ import (
 // observed outcome counts.
 func runCheckGraph(t *testing.T, cfg StreamCheck, events []stream.Event, keyed bool, workers int) OutcomeCounts {
 	t.Helper()
-	out := &StreamOutcomes{}
-	cfg.Out = out
+	out := cfg.Out
+	if out == nil {
+		out = &StreamOutcomes{}
+		cfg.Out = out
+	}
 	factory, err := NewStreamChecker(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -292,10 +295,16 @@ func TestStreamCheckerLateEventDropped(t *testing.T) {
 		{Time: 7, Key: "k", Value: 1}, // watermark 7 closes [0,5)
 		{Time: 2, Key: "k", Value: 1}, // late: its only window already fired
 	}
-	counts := runCheckGraph(t, StreamCheck{Check: ck, Naive: true}, events, true, 1)
+	out := &StreamOutcomes{}
+	counts := runCheckGraph(t, StreamCheck{Check: ck, Naive: true, Out: out}, events, true, 1)
 	// Exactly the grid windows [0,5) and [5,10) — no duplicate [0,5).
 	if counts.Total() != 2 {
 		t.Errorf("total = %d, want 2 (late event must not re-fire a closed window)", counts.Total())
+	}
+	// The drop is observable, not silent: exactly the t=2 event counts as
+	// late, and nothing was evicted or rejected on this unbounded run.
+	if lc := out.Lifecycle(); lc != (LifecycleCounts{DroppedLate: 1}) {
+		t.Errorf("lifecycle = %+v, want exactly 1 dropped-late event", lc)
 	}
 }
 

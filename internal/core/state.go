@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"sound/internal/checkpoint"
+	"sound/internal/resample"
+	"sound/internal/rng"
+)
+
+// This file is the evaluation core's half of the deterministic state
+// lifecycle (DESIGN.md §4i). An Evaluator's replayable state between
+// evaluations is exactly: the position of its base random stream, and
+// which per-strategy resamplers have been split off it (creation order
+// matters — each lazy Split advances the base stream), each with its own
+// stream position and staleness flag. The decision tables, credible-
+// interval cache, and kernel scratch are pure functions of the params or
+// rebuilt per evaluation, so they are never serialized.
+//
+// Snapshots are only taken between evaluations (the stream layer drains
+// to a quiescent barrier first), so there is no mid-evaluation decision
+// progress to carry: Alg. 1's counts, the next-decision edge, and the
+// block boundary snapshots of DESIGN.md §4h all live within a single
+// Evaluate call, which either completed before the barrier or has not
+// started. The codec still records that invariant explicitly (a
+// mid-eval marker that must be false) so a future in-flight snapshot
+// cannot be misread by this version's decoder.
+
+// encodeRNG writes one xoshiro256** state.
+func encodeRNG(enc *checkpoint.Encoder, st rng.State) {
+	for _, w := range st {
+		enc.U64(w)
+	}
+}
+
+// decodeRNG reads one xoshiro256** state.
+func decodeRNG(dec *checkpoint.Decoder) rng.State {
+	var st rng.State
+	for i := range st {
+		st[i] = dec.U64()
+	}
+	return st
+}
+
+// EncodeState serializes the evaluator's between-evaluations state.
+func (e *Evaluator) EncodeState(enc *checkpoint.Encoder) {
+	enc.Bool(false) // mid-evaluation marker: always false at a barrier
+	encodeRNG(enc, e.r.State())
+	for s := range e.rs {
+		if e.rs[s] == nil {
+			enc.Bool(false)
+			continue
+		}
+		enc.Bool(true)
+		enc.Bool(e.rsStale[s])
+		encodeRNG(enc, e.rs[s].State())
+	}
+}
+
+// DecodeEvaluator restores an evaluator from EncodeState output, bound
+// to the plan's normalized parameters, shared decision table, and block
+// size — the exact context pl.NewEvaluator would have given it. The
+// restored evaluator continues the serialized random streams in place:
+// present resampler slots are materialized directly at their recorded
+// positions without re-splitting the base stream (the splits that
+// created them already advanced the base stream before the snapshot).
+func (pl *CheckPlan) DecodeEvaluator(dec *checkpoint.Decoder) (*Evaluator, error) {
+	if dec.Bool() {
+		return nil, fmt.Errorf("core: snapshot taken mid-evaluation; this decoder only restores quiescent evaluators")
+	}
+	e := &Evaluator{params: pl.params, r: rng.New(0), bounds: pl.bounds}
+	e.r.SetState(decodeRNG(dec))
+	for s := range e.rs {
+		if !dec.Bool() {
+			continue
+		}
+		stale := dec.Bool()
+		st := decodeRNG(dec)
+		rs := resample.New(resample.Strategy(s), rng.New(0))
+		rs.Rewind(st)
+		if resample.Strategy(s) == resample.Sequence && pl.params.BlockSize > 0 {
+			rs.SetBlockSize(pl.params.BlockSize)
+		}
+		e.rs[s] = rs
+		e.rsStale[s] = stale
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sound/internal/checkpoint"
+	"sound/internal/rng"
+	"sound/internal/series"
+)
+
+// TestEvaluatorStateRoundTrip: snapshot an evaluator between
+// evaluations, restore it via the plan, and require the remaining
+// windows to evaluate bit-identically against the original — on
+// borderline data where every evaluation draws samples, so the restored
+// RNG stream position and resampler-split bookkeeping both matter.
+func TestEvaluatorStateRoundTrip(t *testing.T) {
+	ck := Check{
+		Name:        "range",
+		Constraint:  Range(0, 100),
+		SeriesNames: []string{"s"},
+		Window:      TimeWindow{Size: 10, Slide: 4},
+	}
+	pl, err := CompilePlan(ck, DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	s := make(series.Series, 160)
+	for i := range s {
+		s[i] = series.Point{T: float64(i), V: 92 + 6*r.NormFloat64(), SigUp: 3, SigDown: 2}
+	}
+	tuples := ck.Window.Windows([]series.Series{s})
+	if len(tuples) < 8 {
+		t.Fatalf("only %d windows, round-trip test is vacuous", len(tuples))
+	}
+	mid := len(tuples) / 2
+
+	e := pl.NewEvaluator(0xabc)
+	for _, w := range tuples[:mid] {
+		e.Evaluate(ck.Constraint, w)
+	}
+	enc := checkpoint.NewRawEncoder()
+	e.EncodeState(enc)
+	snap := enc.Finish()
+
+	restored, err := pl.DecodeEvaluator(checkpoint.NewRawDecoder(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := 0
+	for _, w := range tuples[mid:] {
+		a := e.Evaluate(ck.Constraint, w)
+		b := restored.Evaluate(ck.Constraint, w)
+		if a.Outcome != b.Outcome || a.Samples != b.Samples ||
+			a.SatisfiedCount != b.SatisfiedCount || a.ViolationProb != b.ViolationProb ||
+			a.Lower != b.Lower || a.Upper != b.Upper {
+			t.Fatalf("window [%g,%g): original %+v, restored %+v", w.Start, w.End, a, b)
+		}
+		if a.Samples > 0 {
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("no post-restore window drew samples, round-trip test is vacuous")
+	}
+}
+
+// TestDecodeEvaluatorRejectsMidEval: the version-1 codec only restores
+// quiescent evaluators; a snapshot claiming mid-evaluation state must
+// be refused, not misread.
+func TestDecodeEvaluatorRejectsMidEval(t *testing.T) {
+	ck := Check{
+		Name:        "range",
+		Constraint:  Range(0, 100),
+		SeriesNames: []string{"s"},
+		Window:      TimeWindow{Size: 10},
+	}
+	pl, err := CompilePlan(ck, DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := checkpoint.NewRawEncoder()
+	enc.Bool(true) // mid-evaluation marker
+	if _, err := pl.DecodeEvaluator(checkpoint.NewRawDecoder(enc.Finish())); err == nil ||
+		!strings.Contains(err.Error(), "mid-evaluation") {
+		t.Errorf("mid-eval snapshot: err = %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package stream
+
+import "fmt"
+
+// This file adds drain-to-barrier snapshots to the engine (DESIGN.md
+// §4i): a checkpoint source can pause the whole graph at a quiescent
+// frame boundary — every in-flight frame delivered, every partial
+// outbox flushed, every worker parked — and run a snapshot callback
+// that may safely read operator state. Restored runs then continue
+// bit-identically, because no event is ever half-processed at a
+// snapshot and no operator is ever serialized mid-evaluation.
+//
+// The protocol is a stop-the-world aligned barrier, simplified by the
+// fact that the (single) source blocks inside barrier() until the
+// snapshot completes, so no post-barrier data exists anywhere in the
+// graph while tokens drain:
+//
+//  1. the source flushes its partial frames, then sends one barrier
+//     token (an empty frame — data frames are never empty) on every
+//     partition of every downstream edge;
+//  2. a worker that has received one token per active sender feeding
+//     its channels knows its inputs are drained; it flushes its own
+//     partial frames, forwards tokens downstream, reports arrival, and
+//     parks;
+//  3. when every participant has arrived the graph is quiescent: the
+//     source runs the snapshot callback, then releases the parked
+//     workers and resumes emitting.
+//
+// Worker state reads in the callback are race-free by construction:
+// each worker's last state write happens before its arrival send, which
+// happens before the callback; the callback's reads happen before the
+// resume-channel close the workers block on.
+
+// BarrierFunc requests a drain-to-barrier snapshot: it returns after
+// every operator and sink has quiesced and fn (which may read operator
+// state) has run. Only the generator goroutine of a checkpoint source
+// may call it, and only while the graph is running.
+type BarrierFunc func(fn func())
+
+// AddCheckpointSource registers a source whose generator can request
+// drain-to-barrier snapshots via the barrier argument. Graphs with a
+// checkpoint source must have exactly one source, and operators with
+// parallelism > 1 must be fed by keyed edges only (each barrier token
+// must reach a specific worker); RunContext validates both.
+func (g *Graph) AddCheckpointSource(name string, gen func(emit EmitFunc, barrier BarrierFunc)) *Node {
+	n := &Node{name: name, kind: kindSource, parallelism: 1}
+	n.genB = gen
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// barrierCtl coordinates one graph run's barrier rounds. resume is
+// replaced by the initiator before any round's tokens are sent, so the
+// happens-before edge through the token channels publishes it to every
+// participant.
+type barrierCtl struct {
+	participants int
+	arrive       chan struct{} // buffered to participants: arrivals never block
+	resume       chan struct{}
+}
+
+func newBarrierCtl(participants int) *barrierCtl {
+	return &barrierCtl{participants: participants, arrive: make(chan struct{}, participants)}
+}
+
+// arriveAndWait parks a quiesced participant until the initiator
+// finishes the snapshot (or the run aborts). The resume channel is read
+// before the arrival send: the token receives that led here order the
+// read after this round's armed channel, and the arrival send orders it
+// before the initiator can arm the next round's — reading it after
+// arriving would race with that next write.
+func (bc *barrierCtl) arriveAndWait(done <-chan struct{}) {
+	resume := bc.resume
+	bc.arrive <- struct{}{}
+	select {
+	case <-resume:
+	case <-done:
+		panic(runAborted{})
+	}
+}
+
+// barrierFor builds the BarrierFunc handed to a checkpoint source's
+// generator: arm a fresh resume channel (published to participants via
+// the happens-before edges of the token sends), drain the source's own
+// partial frames, inject one token per downstream partition, wait for
+// every participant to quiesce, run the snapshot, release the world.
+func barrierFor(bc *barrierCtl, ob *outbox, done <-chan struct{}) BarrierFunc {
+	return func(fn func()) {
+		bc.resume = make(chan struct{})
+		ob.flush()
+		ob.barrierTokens()
+		for i := 0; i < bc.participants; i++ {
+			select {
+			case <-bc.arrive:
+			case <-done:
+				panic(runAborted{})
+			}
+		}
+		fn()
+		close(bc.resume)
+	}
+}
+
+// barrierTokens ships one token per downstream partition. It runs after
+// a flush, so within every channel all of the sender's data precedes
+// its token.
+func (ob *outbox) barrierTokens() {
+	for _, e := range ob.n.downstream {
+		for part := range e.chans {
+			if !e.sendFrame(part, nil, ob.done) {
+				panic(runAborted{})
+			}
+		}
+	}
+}
+
+// validateBarriers checks the structural requirements of barrier
+// support and returns the participant count and per-channel active
+// sender counts.
+func (g *Graph) validateBarriers(inboxChans func(*Node) []chan frame) (int, map[chan frame]int, error) {
+	sources := 0
+	for _, n := range g.nodes {
+		if n.kind == kindSource {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return 0, nil, fmt.Errorf("stream: checkpoint barriers need exactly one source, graph has %d", sources)
+	}
+	// Active senders per channel: sources always run; operators only
+	// send if they consume something.
+	active := map[chan frame]int{}
+	for _, n := range g.nodes {
+		if n.kind == kindOperator && len(inboxChans(n)) == 0 {
+			continue
+		}
+		for _, e := range n.downstream {
+			for _, c := range e.chans {
+				active[c] += n.parallelism
+			}
+		}
+	}
+	participants := 0
+	for _, n := range g.nodes {
+		chans := inboxChans(n)
+		if len(chans) == 0 {
+			continue
+		}
+		switch n.kind {
+		case kindOperator:
+			if n.parallelism > 1 && !keyedInbox(g, n) {
+				return 0, nil, fmt.Errorf("stream: checkpoint barriers need keyed inputs for parallel operator %q (a shared channel cannot address a token to a specific worker)", n.name)
+			}
+			if keyedInbox(g, n) {
+				for w := 0; w < n.parallelism; w++ {
+					if expectTokens(pickWorkerChans(g, n, w), active) > 0 {
+						participants++
+					}
+				}
+			} else if expectTokens(chans, active) > 0 {
+				participants++
+			}
+		case kindSink:
+			if expectTokens(chans, active) > 0 {
+				participants++
+			}
+		}
+	}
+	return participants, active, nil
+}
+
+// expectTokens sums the active senders over the channels one worker
+// consumes — the number of barrier tokens it must collect per round.
+func expectTokens(chans []chan frame, active map[chan frame]int) int {
+	total := 0
+	for _, c := range chans {
+		total += active[c]
+	}
+	return total
+}

@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSetBatchSizeRejectsNonPositive: a zero or negative transport
+// batch size is a configuration error, not a silent clamp.
+func TestSetBatchSizeRejectsNonPositive(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []int{0, -1, -64} {
+		if err := g.SetBatchSize(n); err == nil || !strings.Contains(err.Error(), "batch size") {
+			t.Errorf("SetBatchSize(%d): err = %v, want out-of-range error", n, err)
+		}
+	}
+	if err := g.SetBatchSize(1); err != nil {
+		t.Errorf("SetBatchSize(1): %v", err)
+	}
+	if err := g.SetBatchSize(256); err != nil {
+		t.Errorf("SetBatchSize(256): %v", err)
+	}
+}
+
+// barrierCounter counts processed events per worker without atomics:
+// the barrier protocol's happens-before chain is what makes the
+// snapshot callback's reads race-free, and the race detector verifies
+// exactly that claim when this test runs under -race.
+type barrierCounter struct {
+	idx  int
+	seen *[2]int
+}
+
+func (p *barrierCounter) SetWorkerIndex(w int) { p.idx = w }
+func (p *barrierCounter) Process(ev Event, emit EmitFunc) {
+	p.seen[p.idx]++
+	emit(ev)
+}
+func (p *barrierCounter) Flush(EmitFunc) {}
+
+// TestBarrierSnapshotQuiescent drives source → keyed parallel operator
+// → sink with a barrier every 200 events: at each barrier the graph
+// must be fully drained — every emitted event already counted by the
+// workers and delivered to the sink — across batch sizes that leave
+// partial frames in outboxes when the barrier hits.
+func TestBarrierSnapshotQuiescent(t *testing.T) {
+	for _, batch := range []int{1, 7, 64} {
+		var seen [2]int
+		sunk := 0
+		type snap struct{ emitted, processed, delivered int }
+		var snaps []snap
+
+		g := NewGraph()
+		if err := g.SetBatchSize(batch); err != nil {
+			t.Fatal(err)
+		}
+		src := g.AddCheckpointSource("src", func(emit EmitFunc, barrier BarrierFunc) {
+			for i := 0; i < 600; i++ {
+				emit(Event{Time: float64(i), Key: "k" + string(rune('a'+i%5)), Value: float64(i)})
+				if (i+1)%200 == 0 {
+					at := i + 1
+					barrier(func() {
+						snaps = append(snaps, snap{at, seen[0] + seen[1], sunk})
+					})
+				}
+			}
+		})
+		op := g.AddOperator("count", 2, func() Processor { return &barrierCounter{seen: &seen} })
+		sink := g.AddSink("sink", func(Event) { sunk++ })
+		must(t, g.ConnectKeyed(src, op))
+		must(t, g.Connect(op, sink))
+		if _, err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) != 3 {
+			t.Fatalf("batch %d: %d snapshots, want 3", batch, len(snaps))
+		}
+		for _, s := range snaps {
+			if s.processed != s.emitted || s.delivered != s.emitted {
+				t.Errorf("batch %d: snapshot at %d events saw processed=%d delivered=%d — graph not quiescent",
+					batch, s.emitted, s.processed, s.delivered)
+			}
+		}
+		if seen[0]+seen[1] != 600 || sunk != 600 {
+			t.Errorf("batch %d: final counts processed=%d delivered=%d, want 600", batch, seen[0]+seen[1], sunk)
+		}
+	}
+}
+
+// TestBarrierValidation pins the structural requirements: exactly one
+// source, and keyed delivery into any parallel operator (a shared
+// channel cannot address a token to a specific worker).
+func TestBarrierValidation(t *testing.T) {
+	g := NewGraph()
+	src := g.AddCheckpointSource("ckpt", func(emit EmitFunc, barrier BarrierFunc) {})
+	g.AddSource("extra", func(emit EmitFunc) {})
+	must(t, g.Connect(src, g.AddSink("sink", nil)))
+	if _, err := g.Run(); err == nil || !strings.Contains(err.Error(), "exactly one source") {
+		t.Errorf("two sources: err = %v", err)
+	}
+
+	g2 := NewGraph()
+	src2 := g2.AddCheckpointSource("ckpt", func(emit EmitFunc, barrier BarrierFunc) {})
+	op := g2.AddMap("op", 2, func(ev Event, emit EmitFunc) { emit(ev) })
+	must(t, g2.Connect(src2, op)) // shared channel into 2 workers
+	must(t, g2.Connect(op, g2.AddSink("sink", nil)))
+	if _, err := g2.Run(); err == nil || !strings.Contains(err.Error(), "keyed inputs") {
+		t.Errorf("unkeyed parallel operator: err = %v", err)
+	}
+}

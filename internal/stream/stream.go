@@ -20,7 +20,6 @@ package stream
 import (
 	"context"
 	"fmt"
-	"hash/maphash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +48,14 @@ type Processor interface {
 	Process(ev Event, emit EmitFunc)
 	// Flush is called once per worker when the input stream ends.
 	Flush(emit EmitFunc)
+}
+
+// WorkerIndexed is an optional extension of Processor: the engine calls
+// SetWorkerIndex exactly once per worker, after constructing the
+// processor and before delivering any event, so stateful operators can
+// register with a checkpoint registry under a stable worker slot.
+type WorkerIndexed interface {
+	SetWorkerIndex(w int)
 }
 
 // FrameProcessor is an optional extension of Processor: operators that
@@ -89,9 +96,10 @@ type Node struct {
 	name        string
 	kind        nodeKind
 	parallelism int
-	gen         func(emit EmitFunc) // sources
-	newProc     func() Processor    // operators
-	sinkFn      func(Event)         // sinks
+	gen         func(emit EmitFunc)                // sources
+	genB        func(emit EmitFunc, b BarrierFunc) // checkpoint sources
+	newProc     func() Processor                   // operators
+	sinkFn      func(Event)                        // sinks
 	downstream  []*edge
 	inputs      int // number of upstream edges (for channel close accounting)
 	// emitted counts events sent downstream by this node (all workers).
@@ -125,7 +133,6 @@ type edge struct {
 	// chans has one channel per target worker when keyed, else a single
 	// shared channel consumed by all target workers.
 	chans []chan frame
-	seed  maphash.Seed
 }
 
 // partition returns the index of the channel that must carry events with
@@ -134,7 +141,26 @@ func (e *edge) partition(key string) int {
 	if !e.keyed || len(e.chans) == 1 {
 		return 0
 	}
-	return int(maphash.String(e.seed, key) % uint64(len(e.chans)))
+	return int(keyHash(key) % uint64(len(e.chans)))
+}
+
+// keyHash is a stable FNV-1a hash with a splitmix64 finalizer. Unlike
+// the per-process random seeding of hash/maphash, it assigns every key
+// the same worker in every run of every process — a restored checkpoint
+// must route each key to the worker whose serialized state holds that
+// key's group, so partitioning is part of the persistent state contract.
+func keyHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // sendFrame delivers a full or final frame, or reports false if the run
@@ -274,11 +300,15 @@ func (g *Graph) SetChannelSize(n int) {
 // Size 1 reproduces unbatched per-event delivery exactly (every frame
 // carries one event); larger sizes amortize channel sends, counter
 // updates, and fan-out over the frame. Within-key delivery order is
-// identical for every batch size.
-func (g *Graph) SetBatchSize(n int) {
-	if n > 0 {
-		g.batchSize = n
+// identical for every batch size. Sizes below 1 are rejected: an empty
+// frame is the engine's barrier token, so batch size 0 is meaningless
+// and silently clamping it would hide a caller bug.
+func (g *Graph) SetBatchSize(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("stream: batch size %d out of range (want >= 1)", n)
 	}
+	g.batchSize = n
+	return nil
 }
 
 // AddSource registers a source. gen runs in a single goroutine and emits
@@ -338,7 +368,7 @@ func (g *Graph) connect(from, to *Node, keyed bool) error {
 	if to.kind == kindSource {
 		return fmt.Errorf("stream: source %q cannot have upstream", to.name)
 	}
-	e := &edge{to: to, keyed: keyed, seed: maphash.MakeSeed()}
+	e := &edge{to: to, keyed: keyed}
 	from.downstream = append(from.downstream, e)
 	to.inputs++
 	return nil
@@ -436,6 +466,28 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 		inboxes[n] = ib
 	}
 
+	// Checkpoint-capable graphs get a barrier controller; participant
+	// and expected-token counts are fixed by the topology.
+	inboxChans := func(n *Node) []chan frame {
+		if ib := inboxes[n]; ib != nil {
+			return ib.chans
+		}
+		return nil
+	}
+	var bc *barrierCtl
+	var activeSenders map[chan frame]int
+	for _, n := range g.nodes {
+		if n.genB != nil {
+			participants, active, err := g.validateBarriers(inboxChans)
+			if err != nil {
+				return nil, err
+			}
+			bc = newBarrierCtl(participants)
+			activeSenders = active
+			break
+		}
+	}
+
 	// Track, per channel, how many senders feed it so it can be closed
 	// when they all finish.
 	senders := map[chan frame]*sync.WaitGroup{}
@@ -489,7 +541,11 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 				guard(n.name, func() {
 					ob := newOutbox(n, g.batchSize, pool, done)
 					defer ob.fold()
-					n.gen(ob.emit)
+					if n.genB != nil {
+						n.genB(ob.emit, barrierFor(bc, ob, done))
+					} else {
+						n.gen(ob.emit)
+					}
 					ob.flush()
 				})
 			}()
@@ -511,6 +567,9 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 					defer doneFor(n)()
 					guard(n.name, func() {
 						proc := n.newProc()
+						if wi, ok := proc.(WorkerIndexed); ok {
+							wi.SetWorkerIndex(w)
+						}
 						ob := newOutbox(n, g.batchSize, pool, done)
 						defer ob.fold()
 						// Keyed inputs dedicate channel w to worker w;
@@ -522,7 +581,7 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 						if keyedInbox(g, n) {
 							mine = pickWorkerChans(g, n, w)
 						}
-						consume(n, mine, proc, ob.emit, done, pool)
+						consume(n, mine, proc, ob, done, pool, bc, expectTokens(mine, activeSenders))
 						ob.flush()
 					})
 				}()
@@ -533,7 +592,7 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 			go func() {
 				defer wg.Done()
 				guard(n.name, func() {
-					sinkConsume(n, ib.chans, n.sinkFn, m, n.name, done, pool)
+					sinkConsume(n, ib.chans, n.sinkFn, m, n.name, done, pool, bc, expectTokens(ib.chans, activeSenders))
 				})
 			}()
 		}
@@ -583,16 +642,30 @@ func pickWorkerChans(g *Graph, n *Node, w int) []chan frame {
 // consume drains the channels (merged) through the processor frame by
 // frame, flushing at end of stream. Received frames are recycled into
 // the pool after processing. An aborted run skips the flush: its output
-// would be partial and its sends could block.
-func consume(n *Node, chans []chan frame, proc Processor, emit EmitFunc, done <-chan struct{}, pool *framePool) {
+// would be partial and its sends could block. Empty frames are barrier
+// tokens: after collecting one per active sender the worker's inputs
+// are drained, so it flushes its partial output, forwards tokens
+// downstream, and parks until the snapshot completes.
+func consume(n *Node, chans []chan frame, proc Processor, ob *outbox, done <-chan struct{}, pool *framePool, bc *barrierCtl, expect int) {
+	emit := ob.emit
 	fp, frameAware := proc.(FrameProcessor)
 	merged := merge(chans, done)
+	tokens := 0
 	for {
 		select {
 		case fr, ok := <-merged:
 			if !ok {
 				proc.Flush(emit)
 				return
+			}
+			if len(fr) == 0 {
+				if tokens++; tokens == expect {
+					tokens = 0
+					ob.flush()
+					ob.barrierTokens()
+					bc.arriveAndWait(done)
+				}
+				continue
 			}
 			n.processed.Add(int64(len(fr)))
 			if frameAware {
@@ -609,13 +682,21 @@ func consume(n *Node, chans []chan frame, proc Processor, emit EmitFunc, done <-
 	}
 }
 
-func sinkConsume(n *Node, chans []chan frame, fn func(Event), m *Metrics, sink string, done <-chan struct{}, pool *framePool) {
+func sinkConsume(n *Node, chans []chan frame, fn func(Event), m *Metrics, sink string, done <-chan struct{}, pool *framePool, bc *barrierCtl, expect int) {
 	merged := merge(chans, done)
+	tokens := 0
 	for {
 		select {
 		case fr, ok := <-merged:
 			if !ok {
 				return
+			}
+			if len(fr) == 0 {
+				if tokens++; tokens == expect {
+					tokens = 0
+					bc.arriveAndWait(done)
+				}
+				continue
 			}
 			n.processed.Add(int64(len(fr)))
 			m.recordFrame(sink, fr)

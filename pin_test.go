@@ -17,6 +17,7 @@ import (
 
 	"sound"
 	"sound/internal/checker"
+	"sound/internal/checkpoint"
 	"sound/internal/stream"
 	"sound/internal/violation"
 )
@@ -240,6 +241,127 @@ func TestPinnedStreamBatchedGraphParity(t *testing.T) {
 				fmt.Fprintf(&sb, "stream/%s sat=%d viol=%d inc=%d\n", tc.tag, c.Satisfied, c.Violated, c.Inconclusive)
 			}
 			diffLines(t, fmt.Sprintf("stream batch=%d workers=%d", batch, workers), sb.String(), pinnedStream)
+		}
+	}
+}
+
+// TestPinnedCheckpointRestoreParity is the acceptance pin for the
+// deterministic state lifecycle (DESIGN.md §4i): replay the fixture
+// through a checkpoint source, snapshot the operator registry at a
+// mid-stream drain-to-barrier, abandon that run where it stands, and
+// restore the snapshot into a fresh graph that replays only the
+// remaining events. The combined outcome counts must reproduce the
+// uninterrupted pinnedStream goldens byte for byte, at batch {1,64} ×
+// workers {1,4} — partial transport frames, multi-worker registries,
+// RNG stream positions, and shared extraction state all have to survive
+// the kill/resume for these literals to hold.
+func TestPinnedCheckpointRestoreParity(t *testing.T) {
+	x := loadPinFixture(t)
+	mid := len(x)/2 + 3 // mid-window for every spec, off the frame grid
+	specs := []struct {
+		tag string
+		win sound.Windower
+	}{
+		{"sliding", sound.TimeWindow{Size: 12, Slide: 5}},
+		{"tumbling", sound.TimeWindow{Size: 9}},
+		{"count", sound.CountWindow{Size: 8, Slide: 3}},
+	}
+	newCfg := func(reg *checker.StreamRegistry, out *checker.StreamOutcomes, win sound.Windower) checker.StreamCheck {
+		return checker.StreamCheck{
+			Check: sound.Check{
+				Name: "range", Constraint: sound.FractionInRange(0, 13, 0.8),
+				SeriesNames: []string{"x"}, Window: win,
+			},
+			Params:   sound.DefaultParams(),
+			Seed:     13,
+			Forward:  true,
+			Out:      out,
+			Registry: reg,
+		}
+	}
+	toEvent := func(pt sound.Point) stream.Event {
+		return stream.Event{Time: pt.T, Key: "k", Value: pt.V, SigUp: pt.SigUp, SigDown: pt.SigDown}
+	}
+	for _, batch := range []int{1, 64} {
+		for _, workers := range []int{1, 4} {
+			var sb strings.Builder
+			for _, tc := range specs {
+				// Interrupted run: emit the prefix, serialize the registry
+				// at a barrier, then stop. The shutdown Flush that follows
+				// is the abandoned run's — the snapshot predates it.
+				reg := checker.NewStreamRegistry()
+				factory, err := checker.NewStreamChecker(newCfg(reg, &checker.StreamOutcomes{}, tc.win))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var snap []byte
+				g := stream.NewGraph()
+				if err := g.SetBatchSize(batch); err != nil {
+					t.Fatal(err)
+				}
+				src := g.AddCheckpointSource("csv", func(emit stream.EmitFunc, barrier stream.BarrierFunc) {
+					for _, pt := range x[:mid] {
+						emit(toEvent(pt))
+					}
+					barrier(func() {
+						enc := checkpoint.NewEncoder()
+						reg.EncodeTo(enc)
+						snap = enc.Finish()
+					})
+				})
+				chk := g.AddOperator("check", workers, factory)
+				if err := g.ConnectKeyed(src, chk); err != nil {
+					t.Fatal(err)
+				}
+				if err := g.Connect(chk, g.AddSink("sink", nil)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := g.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if snap == nil {
+					t.Fatal("barrier snapshot never ran")
+				}
+
+				// Resumed run: a fresh registry loads the snapshot, a fresh
+				// graph replays only the tail, and the restored counters
+				// accumulate the remaining outcomes on top.
+				reg2 := checker.NewStreamRegistry()
+				dec, err := checkpoint.NewDecoder(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := reg2.DecodeFrom(dec); err != nil {
+					t.Fatal(err)
+				}
+				out := &checker.StreamOutcomes{}
+				factory2, err := checker.NewStreamChecker(newCfg(reg2, out, tc.win))
+				if err != nil {
+					t.Fatal(err)
+				}
+				g2 := stream.NewGraph()
+				if err := g2.SetBatchSize(batch); err != nil {
+					t.Fatal(err)
+				}
+				src2 := g2.AddSource("csv", func(emit stream.EmitFunc) {
+					for _, pt := range x[mid:] {
+						emit(toEvent(pt))
+					}
+				})
+				chk2 := g2.AddOperator("check", workers, factory2)
+				if err := g2.ConnectKeyed(src2, chk2); err != nil {
+					t.Fatal(err)
+				}
+				if err := g2.Connect(chk2, g2.AddSink("sink", nil)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := g2.Run(); err != nil {
+					t.Fatal(err)
+				}
+				c := out.Counts()
+				fmt.Fprintf(&sb, "stream/%s sat=%d viol=%d inc=%d\n", tc.tag, c.Satisfied, c.Violated, c.Inconclusive)
+			}
+			diffLines(t, fmt.Sprintf("restore batch=%d workers=%d", batch, workers), sb.String(), pinnedStream)
 		}
 	}
 }
