@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke benchjson benchcmp fuzz profile
+.PHONY: all build vet test race check bench bench-smoke benchjson benchcmp fuzz profile profile-contention
 
 all: check
 
@@ -45,7 +45,7 @@ fuzz:
 
 # benchjson regenerates the machine-readable hot-path benchmark record.
 benchjson:
-	$(GO) run ./cmd/soundbench -benchjson BENCH_PR7.json
+	$(GO) run ./cmd/soundbench -benchjson BENCH_PR8.json
 
 # benchcmp diffs the two most recent benchmark records (BENCH_*.json in
 # natural version order) spec by spec — ns/op, allocs/op, and domain
@@ -59,3 +59,9 @@ benchcmp:
 # (the Evaluate* micro-benchmarks); inspect with `go tool pprof cpu.pprof`.
 profile:
 	$(GO) run ./cmd/soundbench -benchjson /dev/null -benchfilter Evaluate -cpuprofile cpu.pprof -memprofile mem.pprof
+
+# profile-contention records mutex and goroutine-blocking profiles of the
+# stream transport specs, so ring-vs-channel synchronization cost is
+# directly measurable; inspect with `go tool pprof mutex.pprof`.
+profile-contention:
+	$(GO) run ./cmd/soundbench -benchjson /dev/null -benchfilter Stream -mutexprofile mutex.pprof -blockprofile block.pprof

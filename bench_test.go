@@ -124,6 +124,14 @@ func BenchmarkStreamThroughput(b *testing.B) {
 	b.Run("batch256", func(b *testing.B) { bench.StreamThroughput(b, 256) })
 }
 
+// BenchmarkStreamFusion prices the fused shard runtime on the linear
+// source → check → sink chain: fusion forced on (one goroutine, direct
+// calls) vs forced off (per-node goroutines over ring edges).
+func BenchmarkStreamFusion(b *testing.B) {
+	b.Run("on", func(b *testing.B) { bench.StreamFusion(b, true) })
+	b.Run("off", func(b *testing.B) { bench.StreamFusion(b, false) })
+}
+
 // BenchmarkCheckpoint measures the deterministic state lifecycle's
 // snapshot codec on a 256-group keyed operator: snapshot is the
 // in-barrier serialization stall, restore the decode-and-rehydrate

@@ -55,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpu         = fs.Int("cpu", 0, "set GOMAXPROCS before running benchmarks (0 = leave as is); recorded per spec in the JSON output")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the run (experiments or -benchjson) to this file")
 		memprofile  = fs.String("memprofile", "", "write an allocation profile taken at exit to this file")
+		mutexprof   = fs.String("mutexprofile", "", "write a mutex contention profile taken at exit to this file (sets mutex profiling fraction to 1)")
+		blockprof   = fs.String("blockprofile", "", "write a goroutine blocking profile taken at exit to this file (sets block profiling rate to 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -98,17 +100,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *memprofile != "" {
 		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(stderr, "soundbench: %v\n", err)
-				return
-			}
-			defer f.Close()
 			runtime.GC()
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(stderr, "soundbench: %v\n", err)
-			}
+			writeProfile("allocs", *memprofile, stderr)
 		}()
+	}
+	// Mutex and block profiling price the transport's synchronization:
+	// channel edges show up as sync/runtime contention here, SPSC ring
+	// edges do not (they spin or sleep, never blocking on a lock), so the
+	// two profiles make the ring-vs-channel tradeoff measurable.
+	if *mutexprof != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprof, stderr)
+	}
+	if *blockprof != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprof, stderr)
 	}
 
 	if *benchjson != "" {
@@ -130,6 +136,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
 	}
 	return 0
+}
+
+// writeProfile dumps one named runtime profile to path.
+func writeProfile(name, path string, stderr io.Writer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "soundbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(stderr, "soundbench: %v\n", err)
+	}
 }
 
 // benchRecord is one benchmark's result in the JSON output. Extra holds

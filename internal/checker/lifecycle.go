@@ -139,7 +139,7 @@ func (c *streamChecker) touch(g *groupState, t float64) {
 		c.lruUnlink(g)
 		c.lruPushFront(g)
 	}
-	if !c.trackBytes() {
+	if !c.acct {
 		return
 	}
 	now := g.footprint()

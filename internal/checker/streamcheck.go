@@ -207,7 +207,7 @@ func NewStreamChecker(cfg StreamCheck) (func() stream.Processor, error) {
 		cfg.Registry.bind(cfg.Out)
 	}
 	return func() stream.Processor {
-		return &streamChecker{
+		c := &streamChecker{
 			plan:      plan,
 			seq:       seq,
 			check:     plan.Check(),
@@ -223,6 +223,14 @@ func NewStreamChecker(cfg StreamCheck) (func() stream.Processor, error) {
 			onOutcome: cfg.OnOutcome,
 			worker:    -1,
 		}
+		// The lifecycle predicates are constant for the operator's
+		// lifetime; caching them keeps the per-event ingest path free of
+		// repeated policy re-derivation.
+		c.stateful = c.statefulGroups()
+		c.evictOn = c.evict.enabled()
+		c.track = c.trackGroups()
+		c.acct = c.trackBytes()
+		return c
 	}, nil
 }
 
@@ -290,6 +298,9 @@ type streamChecker struct {
 	evict     EvictionPolicy
 	reg       *StreamRegistry
 	onOutcome func(key string, o core.Outcome)
+	// Cached lifecycle predicates (see the factory): statefulGroups,
+	// evict.enabled, trackGroups, trackBytes respectively.
+	stateful, evictOn, track, acct bool
 	// LRU list of live groups (head = most recently touched), maintained
 	// for every stateful windowing kind so eviction and checkpointing see
 	// a deterministic recency order, and the accounted footprint of all
@@ -382,7 +393,7 @@ func (c *streamChecker) group(key string) *groupState {
 	if g == nil {
 		g = &groupState{key: key}
 		c.groups[key] = g
-		if c.trackGroups() {
+		if c.track {
 			c.lruPushFront(g)
 		}
 	}
@@ -431,6 +442,23 @@ func (c *streamChecker) ProcessFrame(evs []stream.Event, emit stream.EmitFunc) {
 	}
 }
 
+// Forwarding implements stream.ForwardingFrameProcessor: a Forward
+// checker emits every input event unchanged, in input order, before any
+// derived emission — exactly the contract that lets the engine bulk-
+// forward the frame itself instead of running the per-event emit loop
+// above. This is the instrumentation-overhead half of the paper's
+// evaluation: the pass-through cost drops to one frame copy (or none,
+// into a fused metrics sink) while the check work stays identical.
+func (c *streamChecker) Forwarding() bool { return c.forward }
+
+// ProcessFrameForwarded implements stream.ForwardingFrameProcessor:
+// ingest only — the engine has already forwarded the frame.
+func (c *streamChecker) ProcessFrameForwarded(evs []stream.Event, emit stream.EmitFunc) {
+	for i := range evs {
+		c.ingest(evs[i])
+	}
+}
+
 // ingest routes one event into its window group. It is the shared body
 // of Process and ProcessFrame. Around the window dispatch it runs the
 // state lifecycle: advance the worker watermark (sweeping idle groups),
@@ -441,8 +469,7 @@ func (c *streamChecker) ingest(ev stream.Event) {
 	if !ok || input < 0 || input >= c.arity {
 		return
 	}
-	stateful := c.statefulGroups()
-	if c.evict.enabled() && stateful {
+	if c.evictOn && c.stateful {
 		if ev.Time > c.opWatermark {
 			c.opWatermark = ev.Time
 			c.sweepIdle()
@@ -467,7 +494,7 @@ func (c *streamChecker) ingest(ev stream.Event) {
 	case core.KindSession:
 		c.processSession(key, p)
 	}
-	if stateful && c.trackGroups() {
+	if c.track && c.stateful {
 		if g := c.peek(key); g != nil {
 			c.touch(g, ev.Time)
 		}

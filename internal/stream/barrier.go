@@ -15,16 +15,23 @@ import "fmt"
 // snapshot completes, so no post-barrier data exists anywhere in the
 // graph while tokens drain:
 //
-//  1. the source flushes its partial frames, then sends one barrier
-//     token (an empty frame — data frames are never empty) on every
+//  1. the source's chain drains: fused stages cascade their pending
+//     micro-frames, partial output frames flush, then one barrier token
+//     (an empty frame — data frames are never empty) ships on every
 //     partition of every downstream edge;
 //  2. a worker that has received one token per active sender feeding
-//     its channels knows its inputs are drained; it flushes its own
-//     partial frames, forwards tokens downstream, reports arrival, and
-//     parks;
+//     its conduits knows its inputs are drained; it drains its own
+//     chain the same way, forwards tokens downstream, reports arrival,
+//     and parks;
 //  3. when every participant has arrived the graph is quiescent: the
 //     source runs the snapshot callback, then releases the parked
 //     workers and resumes emitting.
+//
+// Fusion moves the protocol to segment granularity without changing it:
+// a fused chain is one participant per worker, its internal stages
+// quiesce by direct-call cascade in step 2 (no tokens needed inside a
+// segment), and only cross-segment conduits carry tokens. Counter folds
+// at each arrival keep lifecycle counts exact in snapshot callbacks.
 //
 // Worker state reads in the callback are race-free by construction:
 // each worker's last state write happens before its arrival send, which
@@ -51,7 +58,7 @@ func (g *Graph) AddCheckpointSource(name string, gen func(emit EmitFunc, barrier
 
 // barrierCtl coordinates one graph run's barrier rounds. resume is
 // replaced by the initiator before any round's tokens are sent, so the
-// happens-before edge through the token channels publishes it to every
+// happens-before edge through the token conduits publishes it to every
 // participant.
 type barrierCtl struct {
 	participants int
@@ -79,16 +86,20 @@ func (bc *barrierCtl) arriveAndWait(done <-chan struct{}) {
 	}
 }
 
-// barrierFor builds the BarrierFunc handed to a checkpoint source's
-// generator: arm a fresh resume channel (published to participants via
-// the happens-before edges of the token sends), drain the source's own
-// partial frames, inject one token per downstream partition, wait for
+// barrierForChain builds the BarrierFunc handed to a checkpoint
+// source's generator: arm a fresh resume channel (published to
+// participants via the happens-before edges of the token sends), drain
+// the source's fused chain, inject one token per downstream partition,
+// fold counters so the snapshot sees exact lifecycle counts, wait for
 // every participant to quiesce, run the snapshot, release the world.
-func barrierFor(bc *barrierCtl, ob *outbox, done <-chan struct{}) BarrierFunc {
+func barrierForChain(bc *barrierCtl, c *chain, done <-chan struct{}) BarrierFunc {
 	return func(fn func()) {
 		bc.resume = make(chan struct{})
-		ob.flush()
-		ob.barrierTokens()
+		c.drain()
+		if c.ob != nil {
+			c.ob.barrierTokens()
+		}
+		c.fold()
 		for i := 0; i < bc.participants; i++ {
 			select {
 			case <-bc.arrive:
@@ -101,13 +112,24 @@ func barrierFor(bc *barrierCtl, ob *outbox, done <-chan struct{}) BarrierFunc {
 	}
 }
 
-// barrierTokens ships one token per downstream partition. It runs after
-// a flush, so within every channel all of the sender's data precedes
-// its token.
+// barrierTokens ships one token per output lane. It runs after a drain,
+// so within every conduit all of the sender's data precedes its token;
+// defensively, a still-pending ring slot is published first so it can
+// never be mistaken for the (empty) token that follows it.
 func (ob *outbox) barrierTokens() {
-	for _, e := range ob.n.downstream {
-		for part := range e.chans {
-			if !e.sendFrame(part, nil, ob.done) {
+	for i := range ob.tgts {
+		for p := range ob.tgts[i] {
+			t := &ob.tgts[i][p]
+			if r := t.cond.ring; r != nil {
+				if t.rsv != nil && len(*t.rsv) > 0 {
+					r.publish()
+				}
+				t.rsv = nil
+				r.reserve(ob.done) // fresh slot, reset to length 0
+				r.publish()
+				continue
+			}
+			if !t.cond.send(nil, ob.done) {
 				panic(runAborted{})
 			}
 		}
@@ -115,9 +137,12 @@ func (ob *outbox) barrierTokens() {
 }
 
 // validateBarriers checks the structural requirements of barrier
-// support and returns the participant count and per-channel active
-// sender counts.
-func (g *Graph) validateBarriers(inboxChans func(*Node) []chan frame) (int, map[chan frame]int, error) {
+// support against the planned segments and returns the participant
+// count and per-conduit active sender counts. A fused chain is one
+// participant per worker; nodes absorbed into a segment need no keyed
+// transport because worker w of the upstream stage feeds worker w
+// directly.
+func (g *Graph) validateBarriers(segs []*segment, inConds map[*Node][]*conduit) (int, map[*conduit]int, error) {
 	sources := 0
 	for _, n := range g.nodes {
 		if n.kind == kindSource {
@@ -127,41 +152,43 @@ func (g *Graph) validateBarriers(inboxChans func(*Node) []chan frame) (int, map[
 	if sources != 1 {
 		return 0, nil, fmt.Errorf("stream: checkpoint barriers need exactly one source, graph has %d", sources)
 	}
-	// Active senders per channel: sources always run; operators only
-	// send if they consume something.
-	active := map[chan frame]int{}
-	for _, n := range g.nodes {
-		if n.kind == kindOperator && len(inboxChans(n)) == 0 {
+	// Active senders per conduit: source segments always run; operator
+	// segments only send if they consume something.
+	active := map[*conduit]int{}
+	for _, s := range segs {
+		head := s.head()
+		if head.kind == kindOperator && len(inConds[head]) == 0 {
 			continue
 		}
-		for _, e := range n.downstream {
-			for _, c := range e.chans {
-				active[c] += n.parallelism
+		for _, e := range s.tail().downstream {
+			for _, cd := range e.conds {
+				active[cd] += s.par
 			}
 		}
 	}
 	participants := 0
-	for _, n := range g.nodes {
-		chans := inboxChans(n)
-		if len(chans) == 0 {
+	for _, s := range segs {
+		head := s.head()
+		conds := inConds[head]
+		if len(conds) == 0 {
 			continue
 		}
-		switch n.kind {
+		switch head.kind {
 		case kindOperator:
-			if n.parallelism > 1 && !keyedInbox(g, n) {
-				return 0, nil, fmt.Errorf("stream: checkpoint barriers need keyed inputs for parallel operator %q (a shared channel cannot address a token to a specific worker)", n.name)
+			if head.parallelism > 1 && !keyedInbox(g, head) {
+				return 0, nil, fmt.Errorf("stream: checkpoint barriers need keyed inputs for parallel operator %q (a shared channel cannot address a token to a specific worker)", head.name)
 			}
-			if keyedInbox(g, n) {
-				for w := 0; w < n.parallelism; w++ {
-					if expectTokens(pickWorkerChans(g, n, w), active) > 0 {
+			if keyedInbox(g, head) {
+				for w := 0; w < head.parallelism; w++ {
+					if expectTokens(pickWorkerConds(g, head, w), active) > 0 {
 						participants++
 					}
 				}
-			} else if expectTokens(chans, active) > 0 {
+			} else if expectTokens(conds, active) > 0 {
 				participants++
 			}
 		case kindSink:
-			if expectTokens(chans, active) > 0 {
+			if expectTokens(conds, active) > 0 {
 				participants++
 			}
 		}
@@ -169,12 +196,12 @@ func (g *Graph) validateBarriers(inboxChans func(*Node) []chan frame) (int, map[
 	return participants, active, nil
 }
 
-// expectTokens sums the active senders over the channels one worker
+// expectTokens sums the active senders over the conduits one worker
 // consumes — the number of barrier tokens it must collect per round.
-func expectTokens(chans []chan frame, active map[chan frame]int) int {
+func expectTokens(conds []*conduit, active map[*conduit]int) int {
 	total := 0
-	for _, c := range chans {
-		total += active[c]
+	for _, cd := range conds {
+		total += active[cd]
 	}
 	return total
 }

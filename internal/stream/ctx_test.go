@@ -10,12 +10,54 @@ import (
 	"time"
 )
 
+// leakCheck snapshots the goroutine count and returns a function that
+// fails the test unless the count returns to the baseline — i.e. no
+// worker, merge, closer, or fused-chain goroutine survived the run. The
+// runtime gets a grace period to reap exiting goroutines.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+	}
+}
+
+// cancelRun starts RunContext on its own goroutine, cancels it after
+// 20ms of running, and requires a prompt context.Canceled return.
+func cancelRun(t *testing.T, g *Graph) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.RunContext(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("RunContext error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not terminate after cancellation")
+	}
+}
+
 // TestRunContextCancelTerminates cancels a graph whose source would emit
 // forever and requires RunContext to return promptly with the context
 // error and without leaking any worker, merge, or closer goroutines.
 // Run under -race this also shakes out unsynchronized shutdown paths.
 func TestRunContextCancelTerminates(t *testing.T) {
-	before := runtime.NumGoroutine()
+	check := leakCheck(t)
 
 	g := NewGraph()
 	src := g.AddSource("infinite", func(emit EmitFunc) {
@@ -34,34 +76,8 @@ func TestRunContextCancelTerminates(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() {
-		_, err := g.RunContext(ctx)
-		done <- err
-	}()
-	time.Sleep(20 * time.Millisecond)
-	cancel()
-
-	select {
-	case err := <-done:
-		if !errors.Is(err, context.Canceled) {
-			t.Errorf("RunContext error = %v, want context.Canceled", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("RunContext did not terminate after cancellation")
-	}
-
-	// All graph goroutines must have exited; allow the runtime a moment
-	// to reap them before comparing.
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+	cancelRun(t, g)
+	check()
 }
 
 // TestRunContextCancelMidFrame cancels a run while workers hold
@@ -88,7 +104,7 @@ func TestRunContextCancelMidFrame(t *testing.T) {
 		{"blocked-sends", 4, 1, 0, 200 * time.Microsecond},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			before := runtime.NumGoroutine()
+			check := leakCheck(t)
 
 			g := NewGraph()
 			g.SetBatchSize(tc.batch)
@@ -116,32 +132,51 @@ func TestRunContextCancelMidFrame(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			ctx, cancel := context.WithCancel(context.Background())
-			done := make(chan error, 1)
-			go func() {
-				_, err := g.RunContext(ctx)
-				done <- err
-			}()
-			time.Sleep(20 * time.Millisecond)
-			cancel()
+			cancelRun(t, g)
+			check()
+		})
+	}
+}
 
-			select {
-			case err := <-done:
-				if !errors.Is(err, context.Canceled) {
-					t.Errorf("RunContext error = %v, want context.Canceled", err)
+// TestRunContextCancelFusedChain cancels runs mid-frame across the
+// planner's fusion modes (satellite of DESIGN.md §4j): a fully fused
+// source→operator→sink chain — one goroutine, no transport anywhere, so
+// only the root emit's amortized poll can observe the dead run — and
+// the same topology unfused, where the workers are blocked in ring
+// reserve/pop waits instead of channel operations. In every mode the
+// run must return ctx.Err() promptly and leak no goroutine.
+func TestRunContextCancelFusedChain(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fuse bool
+	}{
+		{"fused", true},
+		{"unfused-rings", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			check := leakCheck(t)
+
+			g := NewGraph()
+			g.SetFusion(tc.fuse)
+			g.SetBatchSize(1024) // frames stay mid-fill at cancellation
+			src := g.AddSource("infinite", func(emit EmitFunc) {
+				for i := 0; ; i++ {
+					emit(Event{Time: float64(i), Key: "k", Value: 1})
 				}
-			case <-time.After(5 * time.Second):
-				t.Fatal("RunContext did not terminate after mid-frame cancellation")
+			})
+			op := g.AddMap("slow", 1, func(ev Event, emit EmitFunc) {
+				time.Sleep(time.Microsecond)
+				emit(ev)
+			})
+			if err := g.ConnectKeyed(src, op); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Connect(op, g.AddSink("sink", nil)); err != nil {
+				t.Fatal(err)
 			}
 
-			deadline := time.Now().Add(2 * time.Second)
-			for time.Now().Before(deadline) {
-				if runtime.NumGoroutine() <= before {
-					return
-				}
-				time.Sleep(10 * time.Millisecond)
-			}
-			t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+			cancelRun(t, g)
+			check()
 		})
 	}
 }

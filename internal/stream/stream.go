@@ -1,7 +1,7 @@
 // Package stream is a small dataflow engine substituting for Apache Flink
 // in the paper's evaluation setup (§VI-A). It executes a DAG of operators
 // over event streams with per-operator worker parallelism, bounded
-// channels for backpressure, optional key-hash partitioning, and built-in
+// transport for backpressure, optional key-hash partitioning, and built-in
 // throughput/latency measurement at the sinks.
 //
 // The engine intentionally mirrors the execution shape the paper relies
@@ -11,10 +11,16 @@
 //
 // Transport is micro-batched: edges carry pooled []Event frames instead
 // of single events, so each channel operation, counter update, and
-// fan-out pass is amortized over up to SetBatchSize events — the record
-// batching Flink's network stack performs between task managers. Batch
-// size 1 degenerates to the one-event-per-send transport this engine
-// used before batching, through the same code path. See DESIGN.md §4g.
+// fan-out pass is amortized over up to SetBatchSize events (DESIGN.md
+// §4g). On top of that the run is compiled by a fusion planner
+// (planner.go, DESIGN.md §4j): single-consumer chains collapse into one
+// goroutine per worker that passes events by direct call, the remaining
+// single-producer/single-consumer edges ride bounded SPSC rings with
+// in-place frame slots (ring.go), and only multi-producer fan-in still
+// uses Go channels. Frame boundaries adapt to downstream occupancy, so
+// latency at low rates no longer scales with the configured batch size.
+// Scheduling choices never change results: outcomes are bit-identical
+// with fusion forced on or off.
 package stream
 
 import (
@@ -73,6 +79,24 @@ type FrameProcessor interface {
 	ProcessFrame(evs []Event, emit EmitFunc)
 }
 
+// ForwardingFrameProcessor is an optional extension of FrameProcessor
+// for pass-through operators: implementations whose Forwarding method
+// reports true emit every input event unchanged, in input order, before
+// any derived emission. The engine then forwards each input frame
+// downstream itself — as one bulk append instead of a per-event emit
+// loop, and with zero copying into a fused sink — and calls
+// ProcessFrameForwarded instead of ProcessFrame. The implementation
+// must treat its input as already emitted (it may still emit additional
+// derived events via emit). Forwarding is consulted once per worker
+// before the first delivery and must be constant for the run.
+type ForwardingFrameProcessor interface {
+	FrameProcessor
+	Forwarding() bool
+	// ProcessFrameForwarded is ProcessFrame minus the pass-through
+	// emission, which the engine has already performed.
+	ProcessFrameForwarded(evs []Event, emit EmitFunc)
+}
+
 // ProcessorFunc adapts a stateless function to the Processor interface.
 type ProcessorFunc func(ev Event, emit EmitFunc)
 
@@ -101,12 +125,12 @@ type Node struct {
 	newProc     func() Processor                   // operators
 	sinkFn      func(Event)                        // sinks
 	downstream  []*edge
-	inputs      int // number of upstream edges (for channel close accounting)
+	inputs      int // number of upstream edges (for close accounting and fusion legality)
 	// emitted counts events sent downstream by this node (all workers).
 	// Workers accumulate shard-locally and fold in per frame flush.
 	emitted atomic.Int64
 	// processed counts events consumed by this node's workers, folded in
-	// once per received frame.
+	// at barriers and end of stream.
 	processed atomic.Int64
 }
 
@@ -122,26 +146,61 @@ func (n *Node) Emitted() int64 { return n.emitted.Load() }
 func (n *Node) Processed() int64 { return n.processed.Load() }
 
 // frame is the transport unit: a batch of events moving across one edge
-// partition in emission order. Frames are pooled per run and recycled by
-// the receiving worker.
+// partition in emission order. Channel frames are pooled per run and
+// recycled by the receiving worker; ring frames live in the ring's
+// slots and are recycled by position.
 type frame = []Event
+
+// conduit is one transport lane of an edge partition: an SPSC ring on
+// fusion-planned single-producer/single-consumer edges, a buffered Go
+// channel otherwise (the multi-producer/shared-consumer fallback).
+type conduit struct {
+	ch   chan frame
+	ring *spscRing
+}
+
+// send delivers a frame on a channel conduit, or reports false if the
+// run was aborted while the send was blocked on a full channel — the
+// case that used to deadlock a cancelled graph. Ring conduits use
+// reserve/publish instead.
+func (cd *conduit) send(fr frame, done <-chan struct{}) bool {
+	select {
+	case cd.ch <- fr:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// close signals end of stream to the conduit's consumer.
+func (cd *conduit) close() {
+	if cd.ring != nil {
+		cd.ring.close()
+		return
+	}
+	close(cd.ch)
+}
 
 // edge carries event frames from one node to the workers of the next.
 type edge struct {
+	from  *Node
 	to    *Node
 	keyed bool
-	// chans has one channel per target worker when keyed, else a single
-	// shared channel consumed by all target workers.
-	chans []chan frame
+	// conds has one conduit per target worker when keyed, else a single
+	// shared conduit consumed by all target workers. nil when the edge
+	// was fused away by the planner.
+	conds []*conduit
+	// depth is the sampled queue-occupancy gauge for this edge.
+	depth edgeGauge
 }
 
-// partition returns the index of the channel that must carry events with
-// the given key, so all events of one key reach the same worker.
+// partition returns the index of the conduit that must carry events
+// with the given key, so all events of one key reach the same worker.
 func (e *edge) partition(key string) int {
-	if !e.keyed || len(e.chans) == 1 {
+	if !e.keyed || len(e.conds) == 1 {
 		return 0
 	}
-	return int(keyHash(key) % uint64(len(e.chans)))
+	return int(keyHash(key) % uint64(len(e.conds)))
 }
 
 // keyHash is a stable FNV-1a hash with a splitmix64 finalizer. Unlike
@@ -163,21 +222,10 @@ func keyHash(key string) uint64 {
 	return h
 }
 
-// sendFrame delivers a full or final frame, or reports false if the run
-// was aborted while the send was blocked on a full channel — the case
-// that used to deadlock a cancelled graph.
-func (e *edge) sendFrame(part int, fr frame, done <-chan struct{}) bool {
-	select {
-	case e.chans[part] <- fr:
-		return true
-	case <-done:
-		return false
-	}
-}
-
-// framePool recycles transport frames between receivers (which drain
-// them) and senders (which refill them), so a steady-state run allocates
-// no per-frame buffers.
+// framePool recycles channel-transport frames between receivers (which
+// drain them) and senders (which refill them), so a steady-state run
+// allocates no per-frame buffers. Ring conduits bypass the pool
+// entirely: their slot buffers recycle by ring position.
 type framePool struct {
 	pool sync.Pool
 	size int
@@ -202,66 +250,223 @@ func (fp *framePool) put(fr frame) {
 	fp.pool.Put(&fr)
 }
 
+// outTarget is one (edge, partition) output lane of an outbox.
+type outTarget struct {
+	cond *conduit
+	e    *edge
+	buf  frame  // channel lane: partial frame being filled (pooled)
+	rsv  *frame // ring lane: reserved slot being filled in place
+	// cur is the adaptive flush threshold for ring lanes: it starts at 1
+	// (first event ships immediately — a slow source must not park its
+	// first events behind a full batch), doubles toward the configured
+	// batch size while the consumer lags (occupancy above 1 at publish),
+	// and halves back when the consumer drains the ring dry. Low-rate
+	// latency is therefore not batch-bound, and high-rate throughput
+	// still amortizes at full frames.
+	cur     int
+	flushes uint32
+}
+
 // outbox is one worker's private emit state: per-edge, per-partition
-// output buffers that flush as frames when full and on worker
-// completion, plus a shard-local emitted counter folded into the node's
-// atomic once per flush instead of once per event.
+// output lanes that flush as frames when full and on worker completion,
+// plus a shard-local emitted counter folded into the node's atomic once
+// per flush instead of once per event.
 type outbox struct {
 	n       *Node
 	batch   int
 	pool    *framePool
 	done    <-chan struct{}
-	bufs    [][]frame // [edge][partition] partial frame being filled
+	edges   []*edge
+	tgts    [][]outTarget // [edge][partition]
+	single  *outTarget    // fast path when there is exactly one lane
 	emitted int64
 }
 
 func newOutbox(n *Node, batch int, pool *framePool, done <-chan struct{}) *outbox {
-	ob := &outbox{n: n, batch: batch, pool: pool, done: done}
-	ob.bufs = make([][]frame, len(n.downstream))
+	ob := &outbox{n: n, batch: batch, pool: pool, done: done, edges: n.downstream}
+	ob.tgts = make([][]outTarget, len(n.downstream))
 	for i, e := range n.downstream {
-		ob.bufs[i] = make([]frame, len(e.chans))
+		ob.tgts[i] = make([]outTarget, len(e.conds))
+		for p := range ob.tgts[i] {
+			ob.tgts[i][p] = outTarget{cond: e.conds[p], e: e, cur: 1}
+		}
+	}
+	if len(ob.tgts) == 1 && len(ob.tgts[0]) == 1 {
+		ob.single = &ob.tgts[0][0]
 	}
 	return ob
 }
 
-// emit is the worker's EmitFunc: append to the per-partition buffer and
-// ship a frame downstream only when batchSize events accumulated. Within
-// one (sender, partition) pair, events stay in emission order, so keyed
-// consumers observe the exact per-key sequence the unbatched transport
-// delivered.
+// emit is the worker's EmitFunc: append to the per-partition lane and
+// ship a frame downstream only when the flush threshold is reached.
+// Within one (sender, partition) pair, events stay in emission order,
+// so keyed consumers observe the exact per-key sequence the unbatched
+// transport delivered.
 func (ob *outbox) emit(ev Event) {
 	ob.emitted++
-	for i, e := range ob.n.downstream {
-		part := e.partition(ev.Key)
-		buf := ob.bufs[i][part]
-		if buf == nil {
-			buf = ob.pool.get()
-		}
-		buf = append(buf, ev)
-		if len(buf) >= ob.batch {
-			if !e.sendFrame(part, buf, ob.done) {
-				ob.bufs[i][part] = nil
-				panic(runAborted{})
-			}
-			buf = nil
-		}
-		ob.bufs[i][part] = buf
+	if t := ob.single; t != nil {
+		ob.push(t, ev)
+		return
+	}
+	for i, e := range ob.edges {
+		ob.push(&ob.tgts[i][e.partition(ev.Key)], ev)
 	}
 }
 
-// flush ships every partially filled buffer downstream — the
-// flush-on-close path that keeps the final events of a stream from being
-// stranded. It runs after the worker's Flush, before the worker releases
-// its sender slots (so channels close only after the last partial frame
-// is in flight). An aborted run stops flushing but keeps unwinding.
+// push appends one event to a lane. Ring lanes fill the reserved slot
+// in place — no pool traffic, no channel operation; publish makes the
+// slot visible when the adaptive threshold is reached.
+func (ob *outbox) push(t *outTarget, ev Event) {
+	if r := t.cond.ring; r != nil {
+		if t.rsv == nil {
+			t.rsv = r.reserve(ob.done)
+		}
+		*t.rsv = append(*t.rsv, ev)
+		if len(*t.rsv) >= t.cur {
+			ob.shipRing(t, r)
+		}
+		return
+	}
+	if t.buf == nil {
+		t.buf = ob.pool.get()
+	}
+	t.buf = append(t.buf, ev)
+	if len(t.buf) >= ob.batch {
+		ob.ship(t)
+	}
+}
+
+// emitFrame bulk-emits a whole frame — the engine-side forward for
+// pass-through operators. Single-partition lanes take chunked appends
+// (a copy per chunk instead of a call per event); keyed multi-partition
+// edges still route per event.
+func (ob *outbox) emitFrame(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	ob.emitted += int64(len(evs))
+	if t := ob.single; t != nil {
+		ob.pushBulk(t, evs)
+		return
+	}
+	for i, e := range ob.edges {
+		if len(ob.tgts[i]) == 1 {
+			ob.pushBulk(&ob.tgts[i][0], evs)
+			continue
+		}
+		tg := ob.tgts[i]
+		for j := range evs {
+			ob.pushInto(&tg[e.partition(evs[j].Key)], evs[j])
+		}
+	}
+}
+
+// pushInto is push without the single-lane indirection (used by the
+// multi-partition bulk loop).
+func (ob *outbox) pushInto(t *outTarget, ev Event) { ob.push(t, ev) }
+
+func (ob *outbox) pushBulk(t *outTarget, evs []Event) {
+	if r := t.cond.ring; r != nil {
+		for len(evs) > 0 {
+			if t.rsv == nil {
+				t.rsv = r.reserve(ob.done)
+			}
+			space := t.cur - len(*t.rsv)
+			if space <= 0 {
+				ob.shipRing(t, r)
+				continue
+			}
+			k := space
+			if len(evs) < k {
+				k = len(evs)
+			}
+			*t.rsv = append(*t.rsv, evs[:k]...)
+			evs = evs[k:]
+		}
+		if t.rsv != nil && len(*t.rsv) >= t.cur {
+			ob.shipRing(t, r)
+		}
+		return
+	}
+	for len(evs) > 0 {
+		if t.buf == nil {
+			t.buf = ob.pool.get()
+		}
+		space := ob.batch - len(t.buf)
+		if space <= 0 {
+			ob.ship(t)
+			continue
+		}
+		k := space
+		if len(evs) < k {
+			k = len(evs)
+		}
+		t.buf = append(t.buf, evs[:k]...)
+		evs = evs[k:]
+	}
+	if t.buf != nil && len(t.buf) >= ob.batch {
+		ob.ship(t)
+	}
+}
+
+// shipRing publishes the reserved slot and adapts the lane's flush
+// threshold to the observed occupancy: a drained ring means the
+// consumer is waiting (halve toward 1 for latency), a backlog means it
+// is busy (double toward the batch size for throughput).
+func (ob *outbox) shipRing(t *outTarget, r *spscRing) {
+	occ := r.publish()
+	t.rsv = nil
+	if occ <= 1 {
+		if t.cur > 1 {
+			t.cur >>= 1
+		}
+	} else if t.cur < ob.batch {
+		t.cur <<= 1
+		if t.cur > ob.batch {
+			t.cur = ob.batch
+		}
+	}
+	if t.flushes++; t.flushes&15 == 0 {
+		t.e.depth.record(occ)
+	}
+}
+
+// ship sends a full channel-lane frame, panicking with the abort
+// sentinel when the run died under a blocked send.
+func (ob *outbox) ship(t *outTarget) {
+	buf := t.buf
+	t.buf = nil
+	if !t.cond.send(buf, ob.done) {
+		panic(runAborted{})
+	}
+	if t.flushes++; t.flushes&15 == 0 {
+		t.e.depth.record(len(t.cond.ch))
+	}
+}
+
+// flush ships every partially filled lane downstream — the
+// flush-on-close path that keeps the final events of a stream from
+// being stranded. It runs after the worker's Flush, before the worker
+// releases its sender slots (so conduits close only after the last
+// partial frame is in flight). An aborted run stops flushing but keeps
+// unwinding.
 func (ob *outbox) flush() {
-	for i, e := range ob.n.downstream {
-		for part, buf := range ob.bufs[i] {
-			ob.bufs[i][part] = nil
+	for i := range ob.tgts {
+		for p := range ob.tgts[i] {
+			t := &ob.tgts[i][p]
+			if r := t.cond.ring; r != nil {
+				if t.rsv != nil && len(*t.rsv) > 0 {
+					r.publish()
+				}
+				t.rsv = nil
+				continue
+			}
+			buf := t.buf
+			t.buf = nil
 			if len(buf) == 0 {
 				continue
 			}
-			if !e.sendFrame(part, buf, ob.done) {
+			if !t.cond.send(buf, ob.done) {
 				return
 			}
 		}
@@ -280,19 +485,29 @@ type Graph struct {
 	nodes     []*Node
 	chanSize  int
 	batchSize int
+	fuse      *bool // nil: follow SOUND_STREAM_FUSE (default on)
+	// pool recycles frame buffers across the graph's runs (Run is
+	// sequential per graph): ring slots are harvested back into it at
+	// the end of each run.
+	pool *framePool
 }
 
-// NewGraph returns an empty graph. Channel capacity defaults to 256
+// NewGraph returns an empty graph. Transport capacity defaults to 256
 // frames per edge partition; transport batch size defaults to 64 events
 // per frame.
 func NewGraph() *Graph { return &Graph{chanSize: 256, batchSize: 64} }
 
-// SetChannelSize overrides the per-partition channel capacity (counted
-// in frames).
-func (g *Graph) SetChannelSize(n int) {
-	if n > 0 {
-		g.chanSize = n
+// SetChannelSize overrides the per-partition transport capacity
+// (counted in frames; ring capacities round up to the next power of
+// two). Sizes below 1 are rejected — an unbuffered edge would deadlock
+// the flush-then-token barrier protocol, and silently clamping would
+// hide a caller bug.
+func (g *Graph) SetChannelSize(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("stream: channel size %d out of range (want >= 1)", n)
 	}
+	g.chanSize = n
+	return nil
 }
 
 // SetBatchSize overrides the transport batch size: the number of events
@@ -344,7 +559,9 @@ func (g *Graph) AddFilter(name string, parallelism int, pred func(Event) bool) *
 	})
 }
 
-// AddSink registers a sink. fn is called from a single goroutine.
+// AddSink registers a sink. fn is called from a single goroutine —
+// unless the planner replicates a nil-fn sink into parallel upstream
+// workers, which is only legal because there is no fn to call.
 func (g *Graph) AddSink(name string, fn func(Event)) *Node {
 	n := &Node{name: name, kind: kindSink, parallelism: 1, sinkFn: fn}
 	g.nodes = append(g.nodes, n)
@@ -368,7 +585,7 @@ func (g *Graph) connect(from, to *Node, keyed bool) error {
 	if to.kind == kindSource {
 		return fmt.Errorf("stream: source %q cannot have upstream", to.name)
 	}
-	e := &edge{to: to, keyed: keyed}
+	e := &edge{from: from, to: to, keyed: keyed}
 	from.downstream = append(from.downstream, e)
 	to.inputs++
 	return nil
@@ -384,7 +601,7 @@ func (g *Graph) Run() (*Metrics, error) { return g.RunContext(context.Background
 
 // RunContext executes the graph under the context. Cancelling the
 // context aborts the run — sources, workers, and sinks unwind even when
-// blocked on full or empty channels or holding half-filled output
+// blocked on full or empty conduits or holding half-filled output
 // frames, so no goroutines leak — and RunContext returns ctx.Err(). A
 // panicking processor likewise aborts the whole graph and surfaces as an
 // error instead of a deadlock.
@@ -392,8 +609,15 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := newMetrics()
-	pool := newFramePool(g.batchSize)
+	if g.pool == nil || g.pool.size != g.batchSize {
+		g.pool = newFramePool(g.batchSize)
+	}
+	pool := g.pool
+	segs, _ := g.plan(g.fusionOn())
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -422,63 +646,68 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 		f()
 	}
 
-	// Materialize channels on every edge.
-	for _, n := range g.nodes {
-		for _, e := range n.downstream {
+	// Materialize conduits on every cross-segment edge (fused-away edges
+	// keep conds == nil: their traffic moves by direct call inside a
+	// chain). A conduit is an SPSC ring when the planner can prove the
+	// single-producer/single-consumer shape, else a channel.
+	segOf := map[*Node]*segment{}
+	for _, s := range segs {
+		for _, n := range s.nodes {
+			segOf[n] = s
+		}
+	}
+	for _, s := range segs {
+		tail := s.tail()
+		for _, e := range tail.downstream {
 			parts := 1
 			if e.keyed {
 				parts = e.to.parallelism
 			}
-			e.chans = make([]chan frame, parts)
-			for i := range e.chans {
-				e.chans[i] = make(chan frame, g.chanSize)
+			e.depth.reset()
+			e.conds = make([]*conduit, parts)
+			ring := ringEligible(e, s.par)
+			for i := range e.conds {
+				if ring {
+					e.conds[i] = &conduit{ring: newSPSCRing(g.chanSize, pool)}
+				} else {
+					e.conds[i] = &conduit{ch: make(chan frame, g.chanSize)}
+				}
 			}
 		}
 	}
 
 	var wg sync.WaitGroup
-	// Per-node input close accounting: when all upstream edges are done,
-	// the node's input channels close.
-	type inbox struct {
-		chans []chan frame // channels this node's workers read
-	}
-	inboxes := map[*Node]*inbox{}
-	for _, n := range g.nodes {
-		if n.kind == kindSource {
+	// Per-head input accounting: the conduits each segment head's
+	// workers read.
+	inConds := map[*Node][]*conduit{}
+	for _, s := range segs {
+		head := s.head()
+		if head.kind == kindSource {
 			continue
 		}
-		ib := &inbox{}
-		seen := map[chan frame]bool{}
-		// Collect channels from all edges targeting n.
+		seen := map[*conduit]bool{}
 		for _, up := range g.nodes {
 			for _, e := range up.downstream {
-				if e.to != n {
+				if e.to != head || e.conds == nil {
 					continue
 				}
-				for _, c := range e.chans {
-					if !seen[c] {
-						seen[c] = true
-						ib.chans = append(ib.chans, c)
+				for _, cd := range e.conds {
+					if !seen[cd] {
+						seen[cd] = true
+						inConds[head] = append(inConds[head], cd)
 					}
 				}
 			}
 		}
-		inboxes[n] = ib
 	}
 
 	// Checkpoint-capable graphs get a barrier controller; participant
-	// and expected-token counts are fixed by the topology.
-	inboxChans := func(n *Node) []chan frame {
-		if ib := inboxes[n]; ib != nil {
-			return ib.chans
-		}
-		return nil
-	}
+	// and expected-token counts are fixed by the planned topology.
 	var bc *barrierCtl
-	var activeSenders map[chan frame]int
+	var activeSenders map[*conduit]int
 	for _, n := range g.nodes {
 		if n.genB != nil {
-			participants, active, err := g.validateBarriers(inboxChans)
+			participants, active, err := g.validateBarriers(segs, inConds)
 			if err != nil {
 				return nil, err
 			}
@@ -488,36 +717,34 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 		}
 	}
 
-	// Track, per channel, how many senders feed it so it can be closed
+	// Track, per conduit, how many senders feed it so it can be closed
 	// when they all finish.
-	senders := map[chan frame]*sync.WaitGroup{}
-	for _, n := range g.nodes {
-		for _, e := range n.downstream {
-			for _, c := range e.chans {
-				if senders[c] == nil {
-					senders[c] = &sync.WaitGroup{}
+	senders := map[*conduit]*sync.WaitGroup{}
+	for _, s := range segs {
+		for _, e := range s.tail().downstream {
+			for _, cd := range e.conds {
+				if senders[cd] == nil {
+					senders[cd] = &sync.WaitGroup{}
 				}
-				// All workers of n (or the single source goroutine)
-				// share the node's emit path.
-				senders[c].Add(n.parallelism)
+				senders[cd].Add(s.par)
 			}
 		}
 	}
 	var closers sync.WaitGroup
-	for c, swg := range senders {
+	for cd, swg := range senders {
 		closers.Add(1)
-		go func(c chan frame, swg *sync.WaitGroup) {
+		go func(cd *conduit, swg *sync.WaitGroup) {
 			defer closers.Done()
 			swg.Wait()
-			close(c)
-		}(c, swg)
+			cd.close()
+		}(cd, swg)
 	}
 
-	doneFor := func(n *Node) func() {
+	doneFor := func(s *segment) func() {
 		return func() {
-			for _, e := range n.downstream {
-				for _, c := range e.chans {
-					senders[c].Done()
+			for _, e := range s.tail().downstream {
+				for _, cd := range e.conds {
+					senders[cd].Done()
 				}
 			}
 		}
@@ -530,69 +757,75 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 	}
 
 	m.start()
-	for _, n := range g.nodes {
-		n := n
-		switch n.kind {
+	for _, s := range segs {
+		s := s
+		head := s.head()
+		switch head.kind {
 		case kindSource:
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				defer doneFor(n)()
-				guard(n.name, func() {
-					ob := newOutbox(n, g.batchSize, pool, done)
-					defer ob.fold()
-					if n.genB != nil {
-						n.genB(ob.emit, barrierFor(bc, ob, done))
+				defer doneFor(s)()
+				guard(head.name, func() {
+					ch := buildChain(s, 0, g.batchSize, pool, done, m)
+					defer ch.fold()
+					if head.genB != nil {
+						head.genB(ch.rootEmit, barrierForChain(bc, ch, done))
 					} else {
-						n.gen(ob.emit)
+						head.gen(ch.rootEmit)
 					}
-					ob.flush()
+					ch.finish()
 				})
 			}()
 		case kindOperator:
-			ib := inboxes[n]
-			if len(ib.chans) == 0 {
-				// Disconnected operator: nothing to do, but release
-				// sender slots so downstream channels close.
-				for w := 0; w < n.parallelism; w++ {
-					doneFor(n)()
+			conds := inConds[head]
+			if len(conds) == 0 {
+				// Disconnected segment: nothing to do, but release
+				// sender slots so downstream conduits close.
+				for w := 0; w < s.par; w++ {
+					doneFor(s)()
 				}
 				continue
 			}
-			for w := 0; w < n.parallelism; w++ {
+			keyed := keyedInbox(g, head)
+			for w := 0; w < s.par; w++ {
 				w := w
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					defer doneFor(n)()
-					guard(n.name, func() {
-						proc := n.newProc()
-						if wi, ok := proc.(WorkerIndexed); ok {
-							wi.SetWorkerIndex(w)
-						}
-						ob := newOutbox(n, g.batchSize, pool, done)
-						defer ob.fold()
-						// Keyed inputs dedicate channel w to worker w;
+					defer doneFor(s)()
+					guard(head.name, func() {
+						ch := buildChain(s, w, g.batchSize, pool, done, m)
+						defer ch.fold()
+						// Keyed inputs dedicate conduit w to worker w;
 						// shared inputs are consumed cooperatively.
-						var mine []chan frame
-						for _, c := range ib.chans {
-							mine = append(mine, c)
+						mine := conds
+						if keyed {
+							mine = pickWorkerConds(g, head, w)
 						}
-						if keyedInbox(g, n) {
-							mine = pickWorkerChans(g, n, w)
+						expect := expectTokens(mine, activeSenders)
+						if len(mine) == 1 && mine[0].ring != nil {
+							ch.consumeRing(mine[0].ring, bc, expect)
+						} else {
+							ch.consumeChans(mine, g.chanSize, pool, bc, expect)
 						}
-						consume(n, mine, proc, ob, done, pool, bc, expectTokens(mine, activeSenders))
-						ob.flush()
 					})
 				}()
 			}
 		case kindSink:
-			ib := inboxes[n]
+			conds := inConds[head]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				guard(n.name, func() {
-					sinkConsume(n, ib.chans, n.sinkFn, m, n.name, done, pool, bc, expectTokens(ib.chans, activeSenders))
+				guard(head.name, func() {
+					ch := buildChain(s, 0, g.batchSize, pool, done, m)
+					defer ch.fold()
+					expect := expectTokens(conds, activeSenders)
+					if len(conds) == 1 && conds[0].ring != nil {
+						ch.consumeRing(conds[0].ring, bc, expect)
+					} else {
+						ch.consumeChans(conds, g.chanSize, pool, bc, expect)
+					}
 				})
 			}()
 		}
@@ -600,6 +833,17 @@ func (g *Graph) RunContext(ctx context.Context) (*Metrics, error) {
 	wg.Wait()
 	closers.Wait()
 	m.stop()
+	m.collectEdgeDepths(g)
+	// All goroutines are gone: recycle ring slot buffers for the next run.
+	for _, s := range segs {
+		for _, e := range s.tail().downstream {
+			for _, cd := range e.conds {
+				if cd.ring != nil {
+					cd.ring.harvest()
+				}
+			}
+		}
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -625,101 +869,33 @@ func keyedInbox(g *Graph, n *Node) bool {
 	return any
 }
 
-// pickWorkerChans returns the channels assigned to worker w of node n
+// pickWorkerConds returns the conduits assigned to worker w of node n
 // across all keyed input edges.
-func pickWorkerChans(g *Graph, n *Node, w int) []chan frame {
-	var out []chan frame
+func pickWorkerConds(g *Graph, n *Node, w int) []*conduit {
+	var out []*conduit
 	for _, up := range g.nodes {
 		for _, e := range up.downstream {
-			if e.to == n && e.keyed && w < len(e.chans) {
-				out = append(out, e.chans[w])
+			if e.to == n && e.keyed && w < len(e.conds) {
+				out = append(out, e.conds[w])
 			}
 		}
 	}
 	return out
 }
 
-// consume drains the channels (merged) through the processor frame by
-// frame, flushing at end of stream. Received frames are recycled into
-// the pool after processing. An aborted run skips the flush: its output
-// would be partial and its sends could block. Empty frames are barrier
-// tokens: after collecting one per active sender the worker's inputs
-// are drained, so it flushes its partial output, forwards tokens
-// downstream, and parks until the snapshot completes.
-func consume(n *Node, chans []chan frame, proc Processor, ob *outbox, done <-chan struct{}, pool *framePool, bc *barrierCtl, expect int) {
-	emit := ob.emit
-	fp, frameAware := proc.(FrameProcessor)
-	merged := merge(chans, done)
-	tokens := 0
-	for {
-		select {
-		case fr, ok := <-merged:
-			if !ok {
-				proc.Flush(emit)
-				return
-			}
-			if len(fr) == 0 {
-				if tokens++; tokens == expect {
-					tokens = 0
-					ob.flush()
-					ob.barrierTokens()
-					bc.arriveAndWait(done)
-				}
-				continue
-			}
-			n.processed.Add(int64(len(fr)))
-			if frameAware {
-				fp.ProcessFrame(fr, emit)
-			} else {
-				for i := range fr {
-					proc.Process(fr[i], emit)
-				}
-			}
-			pool.put(fr)
-		case <-done:
-			panic(runAborted{})
-		}
-	}
-}
-
-func sinkConsume(n *Node, chans []chan frame, fn func(Event), m *Metrics, sink string, done <-chan struct{}, pool *framePool, bc *barrierCtl, expect int) {
-	merged := merge(chans, done)
-	tokens := 0
-	for {
-		select {
-		case fr, ok := <-merged:
-			if !ok {
-				return
-			}
-			if len(fr) == 0 {
-				if tokens++; tokens == expect {
-					tokens = 0
-					bc.arriveAndWait(done)
-				}
-				continue
-			}
-			n.processed.Add(int64(len(fr)))
-			m.recordFrame(sink, fr)
-			if fn != nil {
-				for i := range fr {
-					fn(fr[i])
-				}
-			}
-			pool.put(fr)
-		case <-done:
-			panic(runAborted{})
-		}
-	}
-}
-
 // merge fans multiple frame channels into one, abandoning the fan-in
 // when the run aborts so the helper goroutines never block on a dead
-// consumer.
-func merge(chans []chan frame, done <-chan struct{}) <-chan frame {
+// consumer. The fan-in buffer respects the graph's configured channel
+// capacity.
+func merge(chans []chan frame, done <-chan struct{}, capacity int) <-chan frame {
 	if len(chans) == 1 {
 		return chans[0]
 	}
-	out := make(chan frame, 16)
+	out := make(chan frame, capacity)
+	if len(chans) == 0 {
+		close(out)
+		return out
+	}
 	var wg sync.WaitGroup
 	for _, c := range chans {
 		wg.Add(1)

@@ -444,6 +444,10 @@ func TestFrameProcessorReceivesFrames(t *testing.T) {
 	const n = 1000
 	g := NewGraph()
 	g.SetBatchSize(16)
+	// Pin fused framing: the exact-frame-count assertions below rely on
+	// fixed micro-frame boundaries, which adaptive ring batching may
+	// legally shrink when this chain runs unfused.
+	g.SetFusion(true)
 	src := g.AddSource("src", func(emit EmitFunc) {
 		for i := 0; i < n; i++ {
 			emit(Event{Time: float64(i), Key: "k"})

@@ -26,6 +26,14 @@
 // Violation analysis (change points, explanations E1–E6, upstream
 // drill-down) lives behind ChangePoints, NewAnalyzer, and
 // NewUpstreamAnalysis.
+//
+// Online checking runs the same compiled plans inside the streaming
+// engine (internal/stream; reached via the app binaries and
+// `soundcheck -stream`). The engine plans linear check topologies into
+// fused shards over single-producer ring edges with adaptive batching;
+// the environment variable SOUND_STREAM_FUSE=off restores the
+// goroutine-per-node runtime for comparison or debugging. Either mode
+// produces bit-identical outcomes (DESIGN.md §4j).
 package sound
 
 import (
