@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke benchjson benchcmp fuzz profile profile-contention
+.PHONY: all build vet test race check bench bench-smoke benchjson benchcmp fuzz serve-smoke profile profile-contention
 
 all: check
 
@@ -18,10 +18,10 @@ race:
 
 # check is the CI gate: compile everything, vet, run the full test suite
 # under the race detector (the shared decision-table cache and the
-# pooled parallel evaluators are concurrency-sensitive), and smoke-run
+# pooled parallel evaluators are concurrency-sensitive), smoke-run
 # every benchmark body so a broken workload fails the gate, not the next
-# perf investigation.
-check: build vet race bench-smoke
+# perf investigation, and run the soundserve wire-path selftest.
+check: build vet race bench-smoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -29,7 +29,7 @@ bench:
 # bench-smoke executes each hot-path/ablation benchmark body a fixed
 # handful of times — correctness of the workloads, not timing.
 bench-smoke:
-	$(GO) test -bench='Evaluate|Draw|Kernel|Ablation|StreamCheck|StreamThroughput|Explain|Summarize|Checkpoint' -benchtime=10x -run=^$$ .
+	$(GO) test -bench='Evaluate|Draw|Kernel|Ablation|StreamCheck|StreamThroughput|Explain|Summarize|Checkpoint|Decode|Ingest' -benchtime=10x -run=^$$ .
 
 # fuzz smoke-runs the hostile-input fuzz targets for FUZZTIME each: the
 # snapshot codec (corrupt checkpoints must error, never panic, and
@@ -42,10 +42,18 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzKernelClosureParity -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzKernelScalarParity -fuzztime=$(FUZZTIME) ./internal/resample
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/series
+	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/wire
+
+# serve-smoke replays the pinned fixture through soundserve's TCP and
+# HTTP wire paths and diffs the verdict counters against a direct
+# single-process evaluation — the shard fan-in parity contract, end to
+# end over real sockets.
+serve-smoke:
+	$(GO) run ./cmd/soundserve -selftest -fixture testdata/gapped_borderline.csv
 
 # benchjson regenerates the machine-readable hot-path benchmark record.
 benchjson:
-	$(GO) run ./cmd/soundbench -benchjson BENCH_PR8.json
+	$(GO) run ./cmd/soundbench -benchjson BENCH_PR9.json
 
 # benchcmp diffs the two most recent benchmark records (BENCH_*.json in
 # natural version order) spec by spec — ns/op, allocs/op, and domain

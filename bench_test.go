@@ -132,6 +132,21 @@ func BenchmarkStreamFusion(b *testing.B) {
 	b.Run("off", func(b *testing.B) { bench.StreamFusion(b, false) })
 }
 
+// BenchmarkDecode prices the wire codecs (internal/wire) on warm
+// decoders: zero allocations per event is the contract.
+func BenchmarkDecode(b *testing.B) {
+	b.Run("frame", bench.DecodeFrame)
+	b.Run("ndjson", bench.DecodeNDJSON)
+	b.Run("csv", bench.DecodeCSV)
+}
+
+// BenchmarkIngest prices the always-on server end to end: binary frames
+// over loopback TCP through shard fan-in to completed verdicts,
+// comparable to BenchmarkStreamThroughput/batch64.
+func BenchmarkIngest(b *testing.B) {
+	b.Run("loopback", bench.IngestLoopback)
+}
+
 // BenchmarkCheckpoint measures the deterministic state lifecycle's
 // snapshot codec on a 256-group keyed operator: snapshot is the
 // in-barrier serialization stall, restore the decode-and-rehydrate

@@ -227,9 +227,10 @@ func runBenchJSON(path, filter string, stdout, stderr io.Writer) int {
 }
 
 // latestBenchFiles returns the two newest checked-in benchmark records
-// (BENCH_*.json in natural version order), the default operands of
+// (BENCH_PR<n>.json in natural version order), the default operands of
 // -benchcmp so CI can diff "the last PR vs this one" without naming
-// files.
+// files. Files that merely resemble a record (BENCH_notes.json, editor
+// backups) are skipped, not misread as the latest PR.
 func latestBenchFiles(dir string) (oldPath, newPath string, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -237,16 +238,33 @@ func latestBenchFiles(dir string) (oldPath, newPath string, err error) {
 	}
 	var names []string
 	for _, e := range entries {
-		name := e.Name()
-		if !e.IsDir() && strings.HasPrefix(name, "BENCH_") && strings.HasSuffix(name, ".json") {
-			names = append(names, name)
+		if !e.IsDir() && isBenchRecord(e.Name()) {
+			names = append(names, e.Name())
 		}
 	}
 	if len(names) < 2 {
-		return "", "", fmt.Errorf("need two BENCH_*.json files in %s, found %d", dir, len(names))
+		return "", "", fmt.Errorf("need two BENCH_PR<n>.json files in %s, found %d", dir, len(names))
 	}
 	sort.Slice(names, func(i, j int) bool { return naturalLess(names[i], names[j]) })
 	return filepath.Join(dir, names[len(names)-2]), filepath.Join(dir, names[len(names)-1]), nil
+}
+
+// isBenchRecord reports whether name is exactly BENCH_PR<digits>.json.
+func isBenchRecord(name string) bool {
+	mid, ok := strings.CutPrefix(name, "BENCH_PR")
+	if !ok {
+		return false
+	}
+	digits, ok := strings.CutSuffix(mid, ".json")
+	if !ok || digits == "" {
+		return false
+	}
+	for i := 0; i < len(digits); i++ {
+		if !isDigit(digits[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // naturalLess orders strings with embedded integers numerically, so

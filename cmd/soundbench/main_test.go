@@ -157,7 +157,10 @@ func TestBenchCmpGate(t *testing.T) {
 
 func TestLatestBenchFiles(t *testing.T) {
 	dir := t.TempDir()
-	for _, name := range []string{"BENCH_PR2.json", "BENCH_PR9.json", "BENCH_PR10.json", "other.json"} {
+	// Non-record files — wrong prefix, non-numeric suffix, backups —
+	// must be skipped, not diffed.
+	for _, name := range []string{"BENCH_PR2.json", "BENCH_PR9.json", "BENCH_PR10.json",
+		"other.json", "BENCH_notes.json", "BENCH_PR9.json.bak", "BENCH_PR.json", "BENCH_PR12draft.json"} {
 		writeBenchJSON(t, filepath.Join(dir, name), map[string]float64{"A": 1})
 	}
 	oldP, newP, err := latestBenchFiles(dir)

@@ -31,13 +31,15 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"sound"
 	"sound/internal/checker"
 	"sound/internal/checkpoint"
+	"sound/internal/ingest"
+	"sound/internal/series"
 	"sound/internal/stream"
+	"sound/internal/wire"
 )
 
 func main() {
@@ -79,18 +81,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() != arity {
 		return fail(stderr, fmt.Errorf("constraint %q needs %d series file(s), got %d", *constraint, arity, fs.NArg()))
 	}
+	// Batch evaluation needs whole series in memory; the streaming replay
+	// reads the files incrementally inside runStream (O(window) memory).
 	var ss []sound.Series
-	for _, path := range fs.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			return fail(stderr, err)
+	if !*streaming {
+		for _, path := range fs.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			s, err := sound.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				return fail(stderr, fmt.Errorf("%s: %w", path, err))
+			}
+			ss = append(ss, s)
 		}
-		s, err := sound.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			return fail(stderr, fmt.Errorf("%s: %w", path, err))
-		}
-		ss = append(ss, s)
 	}
 
 	win, err := buildWindow(*window)
@@ -118,7 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var results []sound.Result
 	if *streaming {
 		var err error
-		counts, err = runStream(check, ss, sound.Params{Credibility: *cred, MaxSamples: *maxSamples}, *seed, *naive, *ckptPath, *ckptEvery, *restore, *fuse)
+		counts, err = runStream(check, fs.Args(), sound.Params{Credibility: *cred, MaxSamples: *maxSamples}, *seed, *naive, *ckptPath, *ckptEvery, *restore, *fuse)
 		if err != nil {
 			return fail(stderr, err)
 		}
@@ -179,10 +185,98 @@ func fail(stderr io.Writer, err error) int {
 	return 1
 }
 
+// csvCursor streams one CSV file one point at a time through the
+// wire.CSVScanner pooled reader, holding O(buffer) memory instead of the
+// whole file. The merge in runStream only ever inspects each file's
+// head point, so one-point lookahead reproduces the historical
+// slurp-then-merge order exactly. Quoted CSV (which the scanner punts
+// on) falls back to sound.ReadCSV: the file is reopened, slurped, and
+// the points already emitted are skipped — identical output, the memory
+// guarantee degrades to O(file) for that one file.
+type csvCursor struct {
+	path    string
+	f       *os.File
+	sc      *wire.CSVScanner
+	slurped sound.Series // non-nil after quoted-CSV fallback
+	idx     int          // next slurped index
+	cur     series.Point
+	ok      bool // cur holds an unconsumed point
+	emitted int  // points handed out, for the fallback skip
+	err     error
+}
+
+func newCSVCursor(path string) (*csvCursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := &csvCursor{path: path, f: f, sc: wire.NewCSVScanner(f)}
+	cur.advance()
+	return cur, cur.err
+}
+
+// advance loads the next point into cur. On any terminal condition
+// (EOF, error) ok stays false and the file is closed.
+func (c *csvCursor) advance() {
+	if c.err != nil {
+		c.ok = false
+		return
+	}
+	if c.slurped != nil {
+		if c.idx < len(c.slurped) {
+			c.cur, c.ok = c.slurped[c.idx], true
+			c.idx++
+			c.emitted++
+		} else {
+			c.ok = false
+		}
+		return
+	}
+	p, err := c.sc.Next()
+	switch {
+	case err == nil:
+		c.cur, c.ok = p, true
+		c.emitted++
+	case err == io.EOF:
+		c.ok = false
+		c.close()
+	case err == wire.ErrQuotedCSV:
+		c.fallbackSlurp()
+	default:
+		c.ok, c.err = false, fmt.Errorf("%s: %w", c.path, err)
+		c.close()
+	}
+}
+
+func (c *csvCursor) fallbackSlurp() {
+	c.close()
+	f, err := os.Open(c.path)
+	if err != nil {
+		c.ok, c.err = false, err
+		return
+	}
+	s, err := sound.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		c.ok, c.err = false, fmt.Errorf("%s: %w", c.path, err)
+		return
+	}
+	c.slurped, c.idx = s, c.emitted
+	c.advance()
+}
+
+func (c *csvCursor) close() {
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+}
+
 // runStream replays the series through the dataflow engine and evaluates
 // the check with the generic online stream operator: events from all
 // input files are merged in time order into one source, keyed by file
-// path, and routed to the check inputs by key. The outcome counts match
+// path, and routed to the check inputs by key. The files are streamed —
+// memory stays O(window), not O(file) — and the outcome counts match
 // what the check's windows produce online.
 //
 // With ckptPath the source requests a drain-to-barrier snapshot every
@@ -190,7 +284,7 @@ func fail(stderr io.Writer, err error) int {
 // replay offset; with restorePath the state is loaded back, the first
 // offset events are skipped, and the resumed replay is bit-identical to
 // an uninterrupted one.
-func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed uint64, naive bool, ckptPath string, every int, restorePath, fuse string) (map[sound.Outcome]int, error) {
+func runStream(check sound.Check, paths []string, params sound.Params, seed uint64, naive bool, ckptPath string, every int, restorePath, fuse string) (map[sound.Outcome]int, error) {
 	out := &checker.StreamOutcomes{}
 	cfg := checker.StreamCheck{
 		Check:   check,
@@ -230,25 +324,47 @@ func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed u
 		}
 	}
 
-	// Time-ordered merge of the input series; sent counts the logical
-	// event position so a restored replay skips what the snapshot run
-	// already processed.
-	var snapErr error
+	cursors := make([]*csvCursor, len(paths))
+	for i, path := range paths {
+		cur, err := newCSVCursor(path)
+		if err != nil {
+			for _, c := range cursors[:i] {
+				c.close()
+			}
+			return nil, err
+		}
+		cursors[i] = cur
+	}
+
+	// Time-ordered merge of the input streams (each cursor exposes its
+	// head point); sent counts the logical event position so a restored
+	// replay skips what the snapshot run already processed. A cursor
+	// that fails mid-file aborts the replay; the error surfaces after
+	// the graph stops.
+	var snapErr, srcErr error
 	replay := func(emit stream.EmitFunc, barrier stream.BarrierFunc) {
-		idx := make([]int, len(ss))
+		defer func() {
+			for _, c := range cursors {
+				c.close()
+			}
+		}()
 		var sent uint64
 		for {
 			best := -1
-			for i, s := range ss {
-				if idx[i] < len(s) && (best < 0 || s[idx[i]].T < ss[best][idx[best]].T) {
+			for i, c := range cursors {
+				if c.ok && (best < 0 || c.cur.T < cursors[best].cur.T) {
 					best = i
 				}
 			}
 			if best < 0 {
 				return
 			}
-			p := ss[best][idx[best]]
-			idx[best]++
+			p := cursors[best].cur
+			cursors[best].advance()
+			if err := cursors[best].err; err != nil {
+				srcErr = err
+				return
+			}
 			sent++
 			if sent <= offset {
 				continue
@@ -288,6 +404,9 @@ func runStream(check sound.Check, ss []sound.Series, params sound.Params, seed u
 	if _, err := g.Run(); err != nil {
 		return nil, err
 	}
+	if srcErr != nil {
+		return nil, srcErr
+	}
 	if snapErr != nil {
 		return nil, fmt.Errorf("writing checkpoint: %w", snapErr)
 	}
@@ -323,82 +442,13 @@ func writeSnapshot(path, fp string, offset uint64, reg *checker.StreamRegistry) 
 	return os.Rename(tmp, path)
 }
 
+// buildConstraint and buildWindow delegate to internal/ingest so
+// soundcheck and soundserve resolve the same template and window
+// vocabulary from one implementation.
 func buildConstraint(name string, min, max, threshold float64) (sound.Constraint, int, error) {
-	switch name {
-	case "range":
-		return sound.Range(min, max), 1, nil
-	case "gt":
-		return sound.GreaterThan(threshold), 1, nil
-	case "nonneg":
-		return sound.NonNegative(), 1, nil
-	case "fraction":
-		return sound.FractionInRange(min, max, threshold), 1, nil
-	case "monotonic":
-		return sound.MonotonicIncrease(false), 1, nil
-	case "maxdelta":
-		return sound.MaxDelta(threshold), 1, nil
-	case "stdnonzero":
-		return sound.StdNonZero(), 1, nil
-	case "corr":
-		return sound.CorrelationAbove(threshold), 2, nil
-	case "nocorr":
-		return sound.CorrelationBelow(threshold), 2, nil
-	case "r2":
-		return sound.RSquaredAbove(threshold), 2, nil
-	case "ks":
-		return sound.KSDistanceBelow(threshold), 2, nil
-	case "count":
-		return sound.CountAtLeast(), 2, nil
-	}
-	return sound.Constraint{}, 0, fmt.Errorf("unknown constraint %q", name)
+	return ingest.BuildConstraint(name, min, max, threshold)
 }
 
 func buildWindow(spec string) (sound.Windower, error) {
-	parts := strings.Split(spec, ":")
-	switch parts[0] {
-	case "point":
-		return sound.PointWindow{}, nil
-	case "global":
-		return sound.GlobalWindow{}, nil
-	case "session":
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("session window needs a gap: session:<gap>")
-		}
-		gap, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return nil, err
-		}
-		return sound.SessionWindow{Gap: gap}, nil
-	case "time":
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("time window needs a size: time:<size>[:<slide>]")
-		}
-		size, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return nil, err
-		}
-		w := sound.TimeWindow{Size: size}
-		if len(parts) > 2 {
-			if w.Slide, err = strconv.ParseFloat(parts[2], 64); err != nil {
-				return nil, err
-			}
-		}
-		return w, nil
-	case "count":
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("count window needs a size: count:<size>[:<slide>]")
-		}
-		size, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return nil, err
-		}
-		w := sound.CountWindow{Size: size}
-		if len(parts) > 2 {
-			if w.Slide, err = strconv.Atoi(parts[2]); err != nil {
-				return nil, err
-			}
-		}
-		return w, nil
-	}
-	return nil, fmt.Errorf("unknown window spec %q", spec)
+	return ingest.BuildWindow(spec)
 }

@@ -198,3 +198,44 @@ func TestBuildConstraintCoverage(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamQuotedCSVFallback: the streaming replay reads files through
+// the zero-alloc CSV scanner, which punts on quoted fields; the cursor
+// must fall back to the full reader and produce output identical to the
+// unquoted equivalent.
+func TestStreamQuotedCSVFallback(t *testing.T) {
+	plain := writeCSV(t, "plain.csv", "t,v\n1,5\n2,6\n3,700\n4,8\n")
+	quoted := writeCSV(t, "quoted.csv", "t,v\n1,5\n2,6\n\"3\",\"700\"\n4,8\n")
+	args := []string{"-constraint", "range", "-min", "0", "-max", "10", "-window", "count:2", "-stream"}
+	codeP, outP, _ := runTool(t, append(args, plain)...)
+	codeQ, outQ, _ := runTool(t, append(args, quoted)...)
+	if codeP != codeQ || outP != outQ {
+		t.Errorf("quoted CSV diverged: (%d, %q) vs (%d, %q)", codeQ, outQ, codeP, outP)
+	}
+}
+
+// TestStreamGarbageCSVRejected: a parse error mid-file in streaming
+// mode must abort the replay with exit 1 and name the file.
+func TestStreamGarbageCSVRejected(t *testing.T) {
+	path := writeCSV(t, "s.csv", "t,v\n1,5\n2,notanumber\n")
+	code, _, errOut := runTool(t, "-constraint", "range", "-min", "0", "-max", "10", "-stream", path)
+	if code != 1 || !strings.Contains(errOut, "s.csv") {
+		t.Errorf("exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+// TestStreamTwoFileMerge exercises the streaming two-cursor merge with
+// interleaved and tied timestamps: a binary constraint only sees both
+// inputs if the merge routes each file's points correctly, so a merge
+// regression shows up as missing windows or a verdict flip.
+func TestStreamTwoFileMerge(t *testing.T) {
+	a := writeCSV(t, "a.csv", "t,v\n1,1\n2,2\n3,3\n4,4\n5,5\n6,6\n")
+	b := writeCSV(t, "b.csv", "t,v\n1,2\n2,4\n3,6\n4,8\n5,10\n6,12\n")
+	code, out, errOut := runTool(t, "-constraint", "corr", "-threshold", "0.2", "-window", "global", "-stream", a, b)
+	if code != 0 {
+		t.Fatalf("exit = %d (stdout %q, stderr %q)", code, out, errOut)
+	}
+	if !strings.Contains(out, "⊤ 1") {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,375 @@
+// Command soundserve runs the always-on checking server: it accepts
+// events over TCP (length-prefixed binary frames) and HTTP (NDJSON),
+// fans them out to per-shard streaming pipelines by the engine's stable
+// key hash, and evaluates the registered checks online with live
+// counters and a streaming outcome feed.
+//
+// Checks are registered with repeatable -check specs (see
+// internal/ingest.ParseCheck for the grammar):
+//
+//	soundserve -http :7071 -check 'range;min=0;max=100;window=time:60'
+//	soundserve -tcp :7070 -http :7071 \
+//	    -check 'name=lat-vs-load;constraint=corr;threshold=0.3;window=time:120;route=inputs:latency,load' \
+//	    -ttl 3600 -max-groups 100000
+//
+// SIGINT/SIGTERM drains gracefully: intake stops, every shard flushes
+// its final windows, and the final counter snapshot is printed.
+//
+// -selftest replays a CSV fixture through both wire paths (TCP frames,
+// HTTP NDJSON) against a fresh server each and diffs the verdict
+// counters against a direct single-process evaluation of the same
+// checks — the shard fan-in parity contract, checked end to end:
+//
+//	soundserve -selftest -fixture testdata/gapped_borderline.csv
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sound"
+	"sound/internal/checker"
+	"sound/internal/ingest"
+	"sound/internal/stream"
+	"sound/internal/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("soundserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tcpAddr    = fs.String("tcp", "", "listen address for binary-frame ingest (e.g. :7070; empty disables)")
+		httpAddr   = fs.String("http", "", "listen address for the HTTP surface: POST /ingest, GET /stats, GET /outcomes, POST /drain (empty disables)")
+		shards     = fs.Int("shards", 4, "independent pipeline shards; events route by the engine's stable key hash")
+		batch      = fs.Int("batch", 64, "transport frame size inside the shard pipelines")
+		cred       = fs.Float64("c", 0.95, "credibility level c")
+		maxSamples = fs.Int("n", 100, "maximum sample size N")
+		seed       = fs.Uint64("seed", 1, "deterministic seed (per-check seed=... overrides)")
+		ttl        = fs.Float64("ttl", 0, "evict window groups idle for this much event time (0 keeps all groups)")
+		maxGroups  = fs.Int("max-groups", 0, "cap live window groups per check worker, LRU-evicted (0 is unlimited)")
+		selftest   = fs.Bool("selftest", false, "replay -fixture through both wire paths and diff against a single-process evaluation")
+		fixture    = fs.String("fixture", "", "CSV fixture for -selftest (t,v[,sig_up[,sig_down]])")
+	)
+	var specs []string
+	fs.Func("check", "check registration, repeatable: '<constraint>[;key=value;...]', e.g. 'range;min=0;max=100;window=time:60'", func(s string) error {
+		specs = append(specs, s)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 0 {
+		return fail(stderr, fmt.Errorf("unexpected arguments %v", fs.Args()))
+	}
+	params := sound.Params{Credibility: *cred, MaxSamples: *maxSamples}
+	evict := checker.EvictionPolicy{TTL: *ttl, MaxGroups: *maxGroups}
+
+	if *selftest {
+		return runSelftest(*fixture, specs, params, *seed, evict, *shards, *batch, stdout, stderr)
+	}
+
+	if len(specs) == 0 {
+		return fail(stderr, fmt.Errorf("no checks registered (repeatable -check 'range;min=0;max=100;window=time:60')"))
+	}
+	if *tcpAddr == "" && *httpAddr == "" {
+		return fail(stderr, fmt.Errorf("nothing to listen on (set -tcp and/or -http)"))
+	}
+	cfgs, err := buildChecks(specs, params, *seed, evict)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	srv, err := ingest.NewServer(ingest.Config{Shards: *shards, BatchSize: *batch, Checks: cfgs})
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	errc := make(chan error, 2)
+	var hsrv *http.Server
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "soundserve: frame ingest on %s\n", ln.Addr())
+		go func() { errc <- srv.ServeTCP(ln) }()
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "soundserve: http on %s\n", ln.Addr())
+		hsrv = &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				errc <- err
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stderr, "soundserve: %v, draining\n", s)
+	case err := <-errc:
+		if err != nil && err != ingest.ErrDraining {
+			fmt.Fprintln(stderr, "soundserve:", err)
+		}
+	case <-srv.Drained():
+		// A client's POST /drain quiesced the server; shut down the
+		// process too, same as the signal path.
+		fmt.Fprintln(stderr, "soundserve: drained by request")
+	}
+	drainErr := srv.Drain()
+	if hsrv != nil {
+		hsrv.Close()
+	}
+	st := srv.Stats()
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+	if drainErr != nil {
+		return fail(stderr, drainErr)
+	}
+	return 0
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "soundserve:", err)
+	return 1
+}
+
+func buildChecks(specs []string, params sound.Params, seed uint64, evict checker.EvictionPolicy) ([]ingest.CheckConfig, error) {
+	var cfgs []ingest.CheckConfig
+	names := map[string]bool{}
+	for _, spec := range specs {
+		cfg, err := ingest.ParseCheck(spec, params, seed, evict)
+		if err != nil {
+			return nil, err
+		}
+		if names[cfg.Name] {
+			return nil, fmt.Errorf("duplicate check name %q (disambiguate with name=...)", cfg.Name)
+		}
+		names[cfg.Name] = true
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs, nil
+}
+
+// selftestSpecs is the default -selftest suite when no -check is given:
+// the pinned window trio over a fraction-in-range constraint, the same
+// shapes the repo's stream goldens pin.
+var selftestSpecs = []string{
+	"fraction;min=0;max=13;threshold=0.8;window=time:12:5;name=sliding",
+	"fraction;min=0;max=13;threshold=0.8;window=time:9;name=tumbling",
+	"fraction;min=0;max=13;threshold=0.8;window=count:8:3;name=count",
+}
+
+type counts3 = [3]int // satisfied, violated, inconclusive
+
+// runSelftest replays the fixture through a real TCP loopback (binary
+// frames) and a real HTTP loopback (NDJSON), each against a fresh
+// server, and requires both final counter snapshots to match a direct
+// single-process evaluation of the same checks bit for bit.
+func runSelftest(fixture string, specs []string, params sound.Params, seed uint64, evict checker.EvictionPolicy, shards, batch int, stdout, stderr io.Writer) int {
+	if fixture == "" {
+		return fail(stderr, fmt.Errorf("-selftest needs -fixture FILE.csv"))
+	}
+	f, err := os.Open(fixture)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	pts, err := sound.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return fail(stderr, fmt.Errorf("%s: %w", fixture, err))
+	}
+	// One key: every event lands on one shard and the evaluating worker
+	// claims the same seed slot as the reference's single worker, so the
+	// verdict counts must be bit-identical, not merely close.
+	evs := make([]stream.Event, len(pts))
+	for i, p := range pts {
+		evs[i] = stream.Event{Time: p.T, Key: "k", Value: p.V, SigUp: p.SigUp, SigDown: p.SigDown}
+	}
+	if len(specs) == 0 {
+		specs = selftestSpecs
+	}
+	cfgs, err := buildChecks(specs, params, seed, evict)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	ref, err := referenceCounts(cfgs, evs)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	tcp, err := selftestTCP(cfgs, evs, shards, batch)
+	if err != nil {
+		return fail(stderr, fmt.Errorf("tcp pass: %w", err))
+	}
+	httpc, err := selftestHTTP(cfgs, evs, shards, batch)
+	if err != nil {
+		return fail(stderr, fmt.Errorf("http pass: %w", err))
+	}
+	ok := true
+	for _, cfg := range cfgs {
+		r, tc, hc := ref[cfg.Name], tcp[cfg.Name], httpc[cfg.Name]
+		status := "ok"
+		if tc != r || hc != r {
+			status = "MISMATCH"
+			ok = false
+		}
+		fmt.Fprintf(stdout, "selftest %-10s ref ⊤%d ⊥%d ⊣%d  tcp ⊤%d ⊥%d ⊣%d  http ⊤%d ⊥%d ⊣%d  %s\n",
+			cfg.Name, r[0], r[1], r[2], tc[0], tc[1], tc[2], hc[0], hc[1], hc[2], status)
+	}
+	if !ok {
+		fmt.Fprintln(stderr, "soundserve: selftest FAILED: wire paths diverged from the single-process evaluation")
+		return 1
+	}
+	fmt.Fprintf(stdout, "selftest ok: %d events × %d checks, tcp and http match the single-process evaluation\n", len(evs), len(cfgs))
+	return 0
+}
+
+// referenceCounts evaluates each check single-process — one operator
+// instance fed in order, no server, no sharding — producing the ground
+// truth the wire paths must reproduce.
+func referenceCounts(cfgs []ingest.CheckConfig, evs []stream.Event) (map[string]counts3, error) {
+	out := map[string]counts3{}
+	drop := func(stream.Event) {}
+	for _, cc := range cfgs {
+		o := &checker.StreamOutcomes{}
+		factory, err := checker.NewStreamChecker(checker.StreamCheck{
+			Check: cc.Check, Params: cc.Params, Seed: cc.Seed, Naive: cc.Naive,
+			Out: o, Route: cc.Route, Evict: cc.Evict,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := factory()
+		if wi, ok := p.(stream.WorkerIndexed); ok {
+			wi.SetWorkerIndex(0)
+		}
+		for _, ev := range evs {
+			p.Process(ev, drop)
+		}
+		p.Flush(drop)
+		c := o.Counts()
+		out[cc.Name] = counts3{c.Satisfied, c.Violated, c.Inconclusive}
+	}
+	return out, nil
+}
+
+func statsCounts(st ingest.Stats, nEvents int) (map[string]counts3, error) {
+	if st.Ingested != int64(nEvents) || st.Consumed != int64(nEvents) {
+		return nil, fmt.Errorf("ingested %d consumed %d, want %d each", st.Ingested, st.Consumed, nEvents)
+	}
+	if st.Dropped != 0 || st.DecodeErrors != 0 {
+		return nil, fmt.Errorf("dropped %d, decode errors %d", st.Dropped, st.DecodeErrors)
+	}
+	out := map[string]counts3{}
+	for _, cs := range st.Checks {
+		out[cs.Name] = counts3{cs.Satisfied, cs.Violated, cs.Inconclusive}
+	}
+	return out, nil
+}
+
+// selftestTCP replays the events as binary frames over a real loopback
+// TCP connection.
+func selftestTCP(cfgs []ingest.CheckConfig, evs []stream.Event, shards, batch int) (map[string]counts3, error) {
+	srv, err := ingest.NewServer(ingest.Config{Shards: shards, BatchSize: batch, Checks: cfgs})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.ServeTCP(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(conn)
+	enc := wire.NewFrameEncoder(bw)
+	frame := max(batch, 1)
+	for off := 0; off < len(evs); off += frame {
+		if err := enc.Encode(evs[off:min(off+frame, len(evs))]); err != nil {
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	if err := conn.Close(); err != nil {
+		return nil, err
+	}
+	if err := srv.Drain(); err != nil {
+		return nil, err
+	}
+	return statsCounts(srv.Stats(), len(evs))
+}
+
+// selftestHTTP replays the events as one NDJSON POST against a fresh
+// server listening on a real loopback socket, then drains over HTTP.
+func selftestHTTP(cfgs []ingest.CheckConfig, evs []stream.Event, shards, batch int) (map[string]counts3, error) {
+	srv, err := ingest.NewServer(ingest.Config{Shards: shards, BatchSize: batch, Checks: cfgs})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	go hsrv.Serve(ln)
+	defer hsrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	var body []byte
+	for _, ev := range evs {
+		body = wire.AppendNDJSON(body, ev)
+	}
+	resp, err := http.Post(base+"/ingest", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var ack struct {
+		Ingested int    `json:"ingested"`
+		Error    string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK || ack.Ingested != len(evs) {
+		return nil, fmt.Errorf("ingest: status %d, ingested %d of %d (%s)", resp.StatusCode, ack.Ingested, len(evs), ack.Error)
+	}
+	resp, err = http.Post(base+"/drain", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	var st ingest.Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if st.Err != "" {
+		return nil, fmt.Errorf("drain: %s", st.Err)
+	}
+	return statsCounts(st, len(evs))
+}

@@ -6,19 +6,25 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net"
 	"runtime"
 	"testing"
+	"time"
 
 	"sound"
 	"sound/internal/checker"
 	"sound/internal/checkpoint"
 	"sound/internal/core"
+	"sound/internal/ingest"
 	"sound/internal/resample"
 	"sound/internal/rng"
 	"sound/internal/series"
 	"sound/internal/stream"
+	"sound/internal/wire"
 )
 
 // Spec names one benchmark workload. Variants of an ablation appear as
@@ -53,6 +59,10 @@ func Specs() []Spec {
 		{"StreamThroughput/batch256", func(b *testing.B) { StreamThroughput(b, 256) }},
 		{"StreamFusion/on", func(b *testing.B) { StreamFusion(b, true) }},
 		{"StreamFusion/off", func(b *testing.B) { StreamFusion(b, false) }},
+		{"Decode/frame", DecodeFrame},
+		{"Decode/ndjson", DecodeNDJSON},
+		{"Decode/csv", DecodeCSV},
+		{"Ingest/loopback", IngestLoopback},
 		{"Draw/point/scalar", func(b *testing.B) { Draw(b, resample.Point, false) }},
 		{"Draw/point/kernel", func(b *testing.B) { Draw(b, resample.Point, true) }},
 		{"Draw/set/scalar", func(b *testing.B) { Draw(b, resample.Set, false) }},
@@ -674,4 +684,205 @@ func AblationDecisionRule(b *testing.B, credibility float64) {
 		}
 	}
 	b.ReportMetric(float64(falseConcl)/float64(windows), "falseconcl/window")
+}
+
+// wireEvents builds the canonical decode workload: nEvents certain
+// points cycling over 8 series keys — the same key fan the
+// StreamThroughput specs use.
+func wireEvents(n int) []stream.Event {
+	keys := [8]string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	evs := make([]stream.Event, n)
+	for i := range evs {
+		evs[i] = stream.Event{Time: float64(i / 8), Key: keys[i%8], Value: 50 + float64(i%7), SigUp: 0.5, SigDown: 0.25}
+	}
+	return evs
+}
+
+// DecodeFrame prices the binary frame decode path: pre-encoded frames
+// decoded by one warm decoder, zero allocations per event in steady
+// state (the wire contract — a regression here costs GC pressure on
+// every ingest byte the server ever sees).
+func DecodeFrame(b *testing.B) {
+	const nEvents = 1 << 13
+	evs := wireEvents(nEvents)
+	var data []byte
+	var err error
+	for off := 0; off < nEvents; off += 256 {
+		if data, err = wire.AppendFrame(data, evs[off:off+256]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(data)
+	dec := wire.NewFrameDecoder(r)
+	decodeAll := func() {
+		r.Reset(data)
+		dec.Reset(r)
+		n := 0
+		for {
+			fr, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += len(fr)
+		}
+		if n != nEvents {
+			b.Fatalf("decoded %d events, want %d", n, nEvents)
+		}
+	}
+	decodeAll() // warm the intern table and buffers
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decodeAll()
+	}
+	b.ReportMetric(float64(b.N)*nEvents/b.Elapsed().Seconds(), "points/sec")
+}
+
+// DecodeNDJSON prices the hand-rolled NDJSON fast path on well-formed
+// lines (the steady state of HTTP ingest): no encoding/json, zero
+// allocations per event.
+func DecodeNDJSON(b *testing.B) {
+	const nEvents = 1 << 13
+	var data []byte
+	for _, ev := range wireEvents(nEvents) {
+		data = wire.AppendNDJSON(data, ev)
+	}
+	r := bytes.NewReader(data)
+	dec := wire.NewNDJSONDecoder(r)
+	decodeAll := func() {
+		r.Reset(data)
+		dec.Reset(r)
+		n := 0
+		for {
+			_, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != nEvents {
+			b.Fatalf("decoded %d events, want %d", n, nEvents)
+		}
+	}
+	decodeAll()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decodeAll()
+	}
+	b.ReportMetric(float64(b.N)*nEvents/b.Elapsed().Seconds(), "points/sec")
+}
+
+// DecodeCSV prices the streaming CSV scanner soundcheck -stream reads
+// files through — the replacement for the O(file) slurp.
+func DecodeCSV(b *testing.B) {
+	const nPoints = 1 << 13
+	var buf bytes.Buffer
+	for i := 0; i < nPoints; i++ {
+		fmt.Fprintf(&buf, "%d,%g,0.5,0.25\n", i, 50+float64(i%7))
+	}
+	data := buf.Bytes()
+	r := bytes.NewReader(data)
+	sc := wire.NewCSVScanner(r)
+	scanAll := func() {
+		r.Reset(data)
+		sc.Reset(r)
+		n := 0
+		for {
+			_, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != nPoints {
+			b.Fatalf("scanned %d points, want %d", n, nPoints)
+		}
+	}
+	scanAll()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanAll()
+	}
+	b.ReportMetric(float64(b.N)*nPoints/b.Elapsed().Seconds(), "points/sec")
+}
+
+// IngestLoopback prices the full wire→verdict path of the always-on
+// server: pre-encoded binary frames written to a real loopback TCP
+// connection, four shard pipelines running the same cheap tumbling
+// range check as StreamThroughput, measured to the point where every
+// event has cleared its shard chain. The points/sec metric is directly
+// comparable to StreamThroughput/batch64 — the gap is the price of the
+// wire (decode + fan-in + lane hop).
+func IngestLoopback(b *testing.B) {
+	const nEvents = 1 << 14
+	evs := wireEvents(nEvents)
+	var data []byte
+	var err error
+	for off := 0; off < nEvents; off += 256 {
+		if data, err = wire.AppendFrame(data, evs[off:off+256]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := ingest.NewServer(ingest.Config{
+		Shards:    4,
+		BatchSize: 64,
+		Checks: []ingest.CheckConfig{{
+			Name: "range",
+			Check: core.Check{
+				Name:        "range",
+				Constraint:  core.Range(0, 100),
+				SeriesNames: []string{"s"},
+				Window:      sound.TimeWindow{Size: 60},
+			},
+			Params: core.Params{Credibility: 0.95, MaxSamples: 100},
+			Seed:   7,
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.ServeTCP(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	consumed := func() int64 { return srv.Stats().Consumed }
+	send := func() {
+		target := consumed() + nEvents
+		if _, err := conn.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		for consumed() < target {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	send() // warm pools, interns, and the TCP path
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+	}
+	b.ReportMetric(float64(b.N)*nEvents/b.Elapsed().Seconds(), "points/sec")
+	b.StopTimer()
+	conn.Close()
+	if err := srv.Drain(); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -1,0 +1,397 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sound/internal/checker"
+	"sound/internal/core"
+	"sound/internal/series"
+	"sound/internal/stream"
+	"sound/internal/wire"
+)
+
+// recordProc records which worker index saw each key.
+type recordProc struct {
+	w   int
+	rec *sync.Map
+}
+
+func (p *recordProc) SetWorkerIndex(w int)                       { p.w = w }
+func (p *recordProc) Process(ev stream.Event, _ stream.EmitFunc) { p.rec.Store(ev.Key, p.w) }
+func (p *recordProc) Flush(stream.EmitFunc)                      {}
+
+// TestShardAssignmentMatchesPartitioner is the bit-for-bit property
+// test of the satellite: for every key, the ingest server's shard
+// assignment must equal the worker index the engine's keyed edge
+// delivers that key to in a live graph. If these ever diverged, a key's
+// events could reach a shard that does not own its window state.
+func TestShardAssignmentMatchesPartitioner(t *testing.T) {
+	keys := []string{"", "k", "x", "y", "series/with/path", "héllo-wörld", strings.Repeat("long", 100)}
+	for i := 0; i < 500; i++ {
+		keys = append(keys, fmt.Sprintf("key-%d-%x", i, i*2654435761))
+	}
+	for _, parts := range []int{1, 2, 4, 7} {
+		var rec sync.Map
+		g := stream.NewGraph()
+		src := g.AddSource("src", func(emit stream.EmitFunc) {
+			for _, k := range keys {
+				emit(stream.Event{Key: k})
+			}
+		})
+		op := g.AddOperator("rec", parts, func() stream.Processor { return &recordProc{rec: &rec} })
+		if err := g.ConnectKeyed(src, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(op, g.AddSink("out", nil)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(Config{Shards: parts, Checks: pinChecks()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			worker, ok := rec.Load(k)
+			if !ok {
+				t.Fatalf("parts=%d: key %q never delivered", parts, k)
+			}
+			if got := srv.shardOf(k); got != worker.(int) {
+				t.Errorf("parts=%d key %q: ingest shard %d, engine worker %d", parts, k, got, worker)
+			}
+			if got, want := srv.shardOf(k), stream.PartitionOf(k, parts); got != want {
+				t.Errorf("parts=%d key %q: shardOf %d != PartitionOf %d", parts, k, got, want)
+			}
+		}
+		if err := srv.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// pinChecks is the pinned fixture trio from pin_test.go: identical
+// constraint, params, seed, and windows, so server verdict counts can
+// be diffed against the single-process pinnedStream goldens.
+func pinChecks() []CheckConfig {
+	mk := func(name string, win core.Windower) CheckConfig {
+		return CheckConfig{
+			Name: name,
+			Check: core.Check{
+				Name: "range", Constraint: core.FractionInRange(0, 13, 0.8),
+				SeriesNames: []string{"x"}, Window: win,
+			},
+			Params: core.DefaultParams(),
+			Seed:   13,
+		}
+	}
+	return []CheckConfig{
+		mk("sliding", core.TimeWindow{Size: 12, Slide: 5}),
+		mk("tumbling", core.TimeWindow{Size: 9}),
+		mk("count", core.CountWindow{Size: 8, Slide: 3}),
+	}
+}
+
+// pinnedCounts are the pinnedStream goldens (pin_test.go): satisfied,
+// violated, inconclusive per check.
+var pinnedCounts = map[string][3]int{
+	"sliding":  {2, 12, 9},
+	"tumbling": {1, 5, 7},
+	"count":    {0, 10, 1},
+}
+
+func fixtureEvents(t *testing.T) []stream.Event {
+	t.Helper()
+	f, err := os.Open("../../testdata/gapped_borderline.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := series.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := make([]stream.Event, len(s))
+	for i, pt := range s {
+		evs[i] = stream.Event{Time: pt.T, Key: "k", Value: pt.V, SigUp: pt.SigUp, SigDown: pt.SigDown}
+	}
+	return evs
+}
+
+func checkPinnedStats(t *testing.T, st Stats, nEvents int64) {
+	t.Helper()
+	if st.Ingested != nEvents || st.Consumed != nEvents {
+		t.Errorf("ingested %d consumed %d, want %d each", st.Ingested, st.Consumed, nEvents)
+	}
+	if st.Dropped != 0 || st.DecodeErrors != 0 {
+		t.Errorf("dropped %d, decode errors %d, want 0", st.Dropped, st.DecodeErrors)
+	}
+	for _, cs := range st.Checks {
+		want, ok := pinnedCounts[cs.Name]
+		if !ok {
+			t.Errorf("unexpected check %q in stats", cs.Name)
+			continue
+		}
+		if got := [3]int{cs.Satisfied, cs.Violated, cs.Inconclusive}; got != want {
+			t.Errorf("check %s: sat/viol/inc %v, want %v (pinnedStream golden)", cs.Name, got, want)
+		}
+	}
+}
+
+// TestPinnedIngestLoopbackTCP replays the pinned fixture over a real
+// loopback TCP connection as binary frames and requires the server's
+// aggregated verdict counts to equal the single-process pinnedStream
+// goldens — the fan-in parity argument of DESIGN.md §4k, end to end.
+func TestPinnedIngestLoopbackTCP(t *testing.T) {
+	evs := fixtureEvents(t)
+	s, err := NewServer(Config{Shards: 4, BatchSize: 8, Checks: pinChecks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeTCP(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := wire.NewFrameEncoder(conn)
+	for off := 0; off < len(evs); off += 7 {
+		end := min(off+7, len(evs))
+		if err := enc.Encode(evs[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	checkPinnedStats(t, s.Stats(), int64(len(evs)))
+}
+
+// TestPinnedIngestLoopbackHTTP is the same parity pin over the NDJSON
+// HTTP path, including the live /stats endpoint and the /drain
+// handshake.
+func TestPinnedIngestLoopbackHTTP(t *testing.T) {
+	evs := fixtureEvents(t)
+	s, err := NewServer(Config{Shards: 4, BatchSize: 8, Checks: pinChecks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var body []byte
+	for _, ev := range evs {
+		body = wire.AppendNDJSON(body, ev)
+	}
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct {
+		Ingested int `json:"ingested"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ack.Ingested != len(evs) {
+		t.Fatalf("ingest: status %d, ingested %d (want 200, %d)", resp.StatusCode, ack.Ingested, len(evs))
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live Stats
+	if err := json.NewDecoder(resp.Body).Decode(&live); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if live.Ingested != int64(len(evs)) {
+		t.Fatalf("live stats: ingested %d, want %d", live.Ingested, len(evs))
+	}
+
+	resp, err = http.Post(ts.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final Stats
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !final.Draining {
+		t.Error("final stats not marked draining")
+	}
+	checkPinnedStats(t, final, int64(len(evs)))
+}
+
+// TestOutcomesFeed subscribes to the live outcome stream, ingests the
+// fixture, and expects verdicts to arrive as NDJSON until drain closes
+// the feed.
+func TestOutcomesFeed(t *testing.T) {
+	evs := fixtureEvents(t)
+	s, err := NewServer(Config{Shards: 2, Checks: pinChecks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/outcomes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	for i := 0; s.nsubs.Load() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var body []byte
+	for _, ev := range evs {
+		body = wire.AppendNDJSON(body, ev)
+	}
+	if _, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", bytes.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain() }()
+
+	dec := json.NewDecoder(resp.Body)
+	seen := 0
+	for {
+		var msg OutcomeMsg
+		if err := dec.Decode(&msg); err != nil {
+			break // feed closed by drain
+		}
+		if _, ok := pinnedCounts[msg.Check]; !ok || msg.Key != "k" || msg.Outcome == "" {
+			t.Fatalf("bad outcome message %+v", msg)
+		}
+		seen++
+	}
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+	var want int
+	for _, c := range pinnedCounts {
+		want += c[0] + c[1] + c[2]
+	}
+	if seen != want {
+		t.Fatalf("outcome feed delivered %d verdicts, want %d", seen, want)
+	}
+}
+
+// TestDrainRejectsLateProducers pins the shutdown contract: after Drain
+// begins, new TCP serve loops and HTTP ingests are refused instead of
+// racing the closing shard lanes.
+func TestDrainRejectsLateProducers(t *testing.T) {
+	s, err := NewServer(Config{Shards: 1, Checks: pinChecks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ServeTCP(ln); err != ErrDraining {
+		t.Fatalf("ServeTCP after drain: %v, want ErrDraining", err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/ingest", strings.NewReader(`{"t":1,"v":2}`+"\n")))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest after drain: status %d, want 503", rec.Code)
+	}
+	if got := s.Stats(); got.Ingested != 0 {
+		t.Fatalf("drained server ingested %d events", got.Ingested)
+	}
+}
+
+func TestIngestRejectsBadNDJSON(t *testing.T) {
+	s, err := NewServer(Config{Shards: 1, Checks: pinChecks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	body := `{"key":"k","t":1,"v":2}` + "\n" + `{broken` + "\n"
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/ingest", strings.NewReader(body)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	var ack struct {
+		Error    string `json:"error"`
+		Ingested int    `json:"ingested"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Error == "" || ack.Ingested != 1 {
+		t.Fatalf("ack %+v, want an error and 1 ingested", ack)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DecodeErrors != 1 || st.Ingested != 1 {
+		t.Fatalf("stats %+v, want 1 decode error, 1 ingested", st)
+	}
+}
+
+func TestParseCheck(t *testing.T) {
+	params := core.DefaultParams()
+	good := []string{
+		"range;min=0;max=100;window=time:60",
+		"constraint=fraction;min=0;max=13;threshold=0.8;window=time:12:5;name=frac",
+		"corr;threshold=0.3;window=time:120;route=inputs:latency,load",
+		"monotonic;window=count:10;seed=99",
+	}
+	for _, spec := range good {
+		cfg, err := ParseCheck(spec, params, 1, checker.EvictionPolicy{})
+		if err != nil {
+			t.Errorf("ParseCheck(%q): %v", spec, err)
+			continue
+		}
+		if cfg.Name == "" || cfg.Check.Constraint.Fn == nil || cfg.Route == nil {
+			t.Errorf("ParseCheck(%q): incomplete config %+v", spec, cfg)
+		}
+	}
+	bad := []string{
+		"",                       // no constraint
+		"frobnicate",             // unknown constraint
+		"range;window=bogus",     // bad window
+		"range;zorp=1",           // unknown key
+		"corr;threshold=0.3",     // binary without route
+		"corr;route=inputs:a",    // arity mismatch
+		"range;route=inputs:a,b", // arity mismatch the other way
+		"range;min=NOPE",         // bad float
+		"range;stray",            // bare token past position 0
+	}
+	for _, spec := range bad {
+		if _, err := ParseCheck(spec, params, 1, checker.EvictionPolicy{}); err == nil {
+			t.Errorf("ParseCheck(%q) accepted", spec)
+		}
+	}
+}

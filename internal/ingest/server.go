@@ -1,0 +1,325 @@
+package ingest
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"sound/internal/checker"
+	"sound/internal/core"
+	"sound/internal/stream"
+)
+
+// CheckConfig registers one check with the server — one tenant entry in
+// the suite every shard runs.
+type CheckConfig struct {
+	Name   string
+	Check  core.Check
+	Params core.Params
+	Seed   uint64
+	Naive  bool
+	Route  checker.RouteFunc
+	Evict  checker.EvictionPolicy
+}
+
+// Config configures a Server.
+type Config struct {
+	// Shards is the number of independent stream.Graph pipelines events
+	// fan out to (default 4). Routing is stream.PartitionOf over the
+	// event key — the engine's keyed-edge partitioner — so a key's
+	// events always land on the shard that owns its window state.
+	Shards int
+	// BatchSize is the transport frame size, both for the shard input
+	// lanes and inside the shard graphs (default 64).
+	BatchSize int
+	// Checks are the registered checks. Every shard runs the full
+	// suite; each check's outcome counters aggregate across shards.
+	Checks []CheckConfig
+}
+
+// shard is one pipeline: an input lane feeding a dedicated graph whose
+// source drains it. The lane is the only producer edge into the graph,
+// so the planner fuses the chain and events flow wire→verdict on one
+// goroutine per shard in the default configuration.
+type shard struct {
+	in       chan []stream.Event
+	g        *stream.Graph
+	done     chan struct{} // closed when the graph run returns
+	err      error
+	consumed atomic.Int64 // events fully handed through the chain
+}
+
+// checkState is one registered check's server-side state: a single
+// processor factory shared by all shards (so evaluator seed slots are
+// claimed from one sequence, exactly as a single-process multi-worker
+// run would) and the outcome counters aggregated across shards.
+type checkState struct {
+	cfg CheckConfig
+	out *checker.StreamOutcomes
+}
+
+// Server fans inbound events out to the shards and owns their
+// lifecycle. Construction starts the shard graphs; Drain stops intake,
+// flushes every shard to end-of-stream (firing final windows), and
+// freezes the counters.
+type Server struct {
+	cfg    Config
+	checks []*checkState
+	shards []*shard
+	pool   sync.Pool // *[]stream.Event transport frames
+
+	mu       sync.Mutex
+	draining bool
+	conns    map[net.Conn]struct{}
+	connWG   sync.WaitGroup // in-flight TCP conns + HTTP ingest requests
+	tcpLn    net.Listener
+
+	ingested     atomic.Int64 // events accepted into shard lanes
+	dropped      atomic.Int64 // events lost to a dead shard
+	decodeErrors atomic.Int64 // connections/requests that died mid-decode
+
+	nsubs       atomic.Int32
+	subMu       sync.Mutex
+	subs        map[*subscriber]struct{}
+	subsDropped atomic.Int64 // outcome messages dropped on slow subscribers
+
+	drainOnce sync.Once
+	drainErr  error
+	drained   chan struct{}
+}
+
+// NewServer builds the server and starts its shard pipelines (idle
+// until events arrive).
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if len(cfg.Checks) == 0 {
+		return nil, fmt.Errorf("ingest: no checks registered")
+	}
+	s := &Server{
+		cfg:     cfg,
+		conns:   map[net.Conn]struct{}{},
+		subs:    map[*subscriber]struct{}{},
+		drained: make(chan struct{}),
+	}
+	// One factory per check, shared by every shard: the factory closes
+	// over one evaluator-seed sequence, so seed-slot claiming is
+	// identical to running the same workers inside a single graph.
+	factories := make([]func() stream.Processor, len(cfg.Checks))
+	for i, cc := range cfg.Checks {
+		cc := cc
+		cs := &checkState{cfg: cc, out: &checker.StreamOutcomes{}}
+		factory, err := checker.NewStreamChecker(checker.StreamCheck{
+			Check:   cc.Check,
+			Params:  cc.Params,
+			Seed:    cc.Seed,
+			Naive:   cc.Naive,
+			Forward: true,
+			Out:     cs.out,
+			Route:   cc.Route,
+			Evict:   cc.Evict,
+			OnOutcome: func(key string, o core.Outcome) {
+				s.publish(cc.Name, key, o)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ingest: check %q: %w", cc.Name, err)
+		}
+		s.checks = append(s.checks, cs)
+		factories[i] = factory
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			in:   make(chan []stream.Event, 64),
+			done: make(chan struct{}),
+		}
+		g := stream.NewGraph()
+		if err := g.SetBatchSize(cfg.BatchSize); err != nil {
+			return nil, err
+		}
+		prev := g.AddSource("in", func(emit stream.EmitFunc) {
+			for fr := range sh.in {
+				for j := range fr {
+					emit(fr[j])
+				}
+				// emit returns after the event cleared the fused chain
+				// (or entered its transport), so this is the live
+				// wire→verdict progress gauge.
+				sh.consumed.Add(int64(len(fr)))
+				s.putFrame(fr)
+			}
+		})
+		for j, cs := range s.checks {
+			op := g.AddOperator("check/"+cs.cfg.Name, 1, factories[j])
+			if err := g.Connect(prev, op); err != nil {
+				return nil, err
+			}
+			prev = op
+		}
+		if err := g.Connect(prev, g.AddSink("out", nil)); err != nil {
+			return nil, err
+		}
+		sh.g = g
+		s.shards = append(s.shards, sh)
+		go func() {
+			_, err := sh.g.Run()
+			sh.err = err
+			close(sh.done)
+		}()
+	}
+	return s, nil
+}
+
+func (s *Server) getFrame() []stream.Event {
+	if v := s.pool.Get(); v != nil {
+		return (*v.(*[]stream.Event))[:0]
+	}
+	return make([]stream.Event, 0, s.cfg.BatchSize)
+}
+
+func (s *Server) putFrame(fr []stream.Event) {
+	if cap(fr) == 0 {
+		return
+	}
+	fr = fr[:0]
+	s.pool.Put(&fr)
+}
+
+// router is one connection's (or request's) shard fan-in state: a
+// pooled partial frame per shard, flushed whenever a frame fills or the
+// producer reaches an input boundary. Not safe for concurrent use; each
+// connection owns its own.
+type router struct {
+	s    *Server
+	bufs [][]stream.Event
+}
+
+func (s *Server) newRouter() *router {
+	return &router{s: s, bufs: make([][]stream.Event, len(s.shards))}
+}
+
+// shardOf is the ingest-side shard assignment. It MUST match the
+// engine's keyed-edge partitioner bit-for-bit (property-tested against
+// a live keyed graph): the shard is the key's home for window state.
+func (s *Server) shardOf(key string) int {
+	return stream.PartitionOf(key, len(s.shards))
+}
+
+func (rt *router) add(ev stream.Event) {
+	i := rt.s.shardOf(ev.Key)
+	buf := rt.bufs[i]
+	if buf == nil {
+		buf = rt.s.getFrame()
+	}
+	buf = append(buf, ev)
+	if len(buf) >= rt.s.cfg.BatchSize {
+		rt.bufs[i] = nil
+		rt.s.send(i, buf)
+	} else {
+		rt.bufs[i] = buf
+	}
+}
+
+func (rt *router) addFrame(evs []stream.Event) {
+	for i := range evs {
+		rt.add(evs[i])
+	}
+}
+
+// flush ships every partial frame to its shard — called at input-frame
+// boundaries so transport batching never holds a decoded event back.
+func (rt *router) flush() {
+	for i, buf := range rt.bufs {
+		if len(buf) > 0 {
+			rt.bufs[i] = nil
+			rt.s.send(i, buf)
+		}
+	}
+}
+
+// send delivers one frame to a shard lane, or counts it dropped if the
+// shard's graph has died (a failed shard must not wedge every
+// connection behind an unread channel).
+func (s *Server) send(i int, fr []stream.Event) {
+	sh := s.shards[i]
+	select {
+	case sh.in <- fr:
+		s.ingested.Add(int64(len(fr)))
+	case <-sh.done:
+		s.dropped.Add(int64(len(fr)))
+		s.putFrame(fr)
+	}
+}
+
+// ErrDraining rejects work arriving after Drain began.
+var ErrDraining = fmt.Errorf("ingest: server is draining")
+
+// beginIngest registers an in-flight producer (TCP connection or HTTP
+// ingest request); the matching endIngest releases it. Drain waits for
+// all producers before closing the shard lanes, so a producer that got
+// in never writes to a closed channel.
+func (s *Server) beginIngest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.connWG.Add(1)
+	return true
+}
+
+func (s *Server) endIngest() { s.connWG.Done() }
+
+// Drain performs the graceful shutdown handshake: stop accepting
+// producers, wait for in-flight ones, close the shard lanes, and wait
+// for every shard graph to flush its final windows and stop. After
+// Drain the counters are final. Idempotent; concurrent callers all
+// block until the first drain completes.
+func (s *Server) Drain() error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		ln := s.tcpLn
+		s.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
+		s.connWG.Wait()
+		for _, sh := range s.shards {
+			close(sh.in)
+		}
+		for _, sh := range s.shards {
+			<-sh.done
+			if sh.err != nil && s.drainErr == nil {
+				s.drainErr = sh.err
+			}
+		}
+		s.closeSubscribers()
+		close(s.drained)
+	})
+	<-s.drained
+	return s.drainErr
+}
+
+// Drained reports drain completion without initiating one: the channel
+// closes once a Drain (from any caller — POST /drain, signal handler,
+// Close) has fully flushed the shards. Lets a host process wait for
+// "someone drained the server" and exit.
+func (s *Server) Drained() <-chan struct{} { return s.drained }
+
+// Close force-closes live connections, then drains. Use when a client
+// may never hang up on its own.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return s.Drain()
+}

@@ -32,6 +32,43 @@ func WriteCSV(w io.Writer, s Series) error {
 	return cw.Error()
 }
 
+// ParsePointRecord interprets one CSV record in the t,v[,sig_up
+// [,sig_down]] layout. line is the 1-based row number: a non-numeric
+// first field is tolerated as a header row only on line 1 (reported via
+// header=true with a zero Point). Empty uncertainty fields and missing
+// columns default to zero; fields past the fourth are ignored. Both
+// ReadCSV and the streaming wire.CSVScanner decode through this one
+// function, so the two paths cannot drift apart; callers must not
+// retain the field strings.
+func ParsePointRecord(line int, rec []string) (p Point, header bool, err error) {
+	if len(rec) < 2 {
+		return Point{}, false, fmt.Errorf("series: row %d has %d fields, want >= 2", line, len(rec))
+	}
+	t, err := strconv.ParseFloat(rec[0], 64)
+	if err != nil {
+		if line == 1 {
+			return Point{}, true, nil
+		}
+		return Point{}, false, fmt.Errorf("series: row %d: bad timestamp %q", line, rec[0])
+	}
+	v, err := strconv.ParseFloat(rec[1], 64)
+	if err != nil {
+		return Point{}, false, fmt.Errorf("series: row %d: bad value %q", line, rec[1])
+	}
+	p = Point{T: t, V: v}
+	if len(rec) > 2 && rec[2] != "" {
+		if p.SigUp, err = strconv.ParseFloat(rec[2], 64); err != nil {
+			return Point{}, false, fmt.Errorf("series: row %d: bad sig_up %q", line, rec[2])
+		}
+	}
+	if len(rec) > 3 && rec[3] != "" {
+		if p.SigDown, err = strconv.ParseFloat(rec[3], 64); err != nil {
+			return Point{}, false, fmt.Errorf("series: row %d: bad sig_down %q", line, rec[3])
+		}
+	}
+	return p, false, nil
+}
+
 // ReadCSV reads a series written by WriteCSV. A header row is detected and
 // skipped when the first field is not numeric. Rows may have 2, 3, or 4
 // columns; missing uncertainty columns default to zero.
@@ -49,30 +86,12 @@ func ReadCSV(r io.Reader) (Series, error) {
 			return nil, err
 		}
 		line++
-		if len(rec) < 2 {
-			return nil, fmt.Errorf("series: row %d has %d fields, want >= 2", line, len(rec))
-		}
-		t, err := strconv.ParseFloat(rec[0], 64)
+		p, header, err := ParsePointRecord(line, rec)
 		if err != nil {
-			if line == 1 {
-				continue // header row
-			}
-			return nil, fmt.Errorf("series: row %d: bad timestamp %q", line, rec[0])
+			return nil, err
 		}
-		v, err := strconv.ParseFloat(rec[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("series: row %d: bad value %q", line, rec[1])
-		}
-		p := Point{T: t, V: v}
-		if len(rec) > 2 && rec[2] != "" {
-			if p.SigUp, err = strconv.ParseFloat(rec[2], 64); err != nil {
-				return nil, fmt.Errorf("series: row %d: bad sig_up %q", line, rec[2])
-			}
-		}
-		if len(rec) > 3 && rec[3] != "" {
-			if p.SigDown, err = strconv.ParseFloat(rec[3], 64); err != nil {
-				return nil, fmt.Errorf("series: row %d: bad sig_down %q", line, rec[3])
-			}
+		if header {
+			continue
 		}
 		s = append(s, p)
 	}

@@ -215,6 +215,30 @@ func (m *Metrics) EdgeDepths() map[string]EdgeDepth {
 	return out
 }
 
+// EdgeDepths returns a live snapshot of the per-edge occupancy gauges,
+// keyed "from→to" — readable while the graph is running (the gauges are
+// atomics written by producing workers). Long-lived deployments poll
+// this for backpressure visibility; Metrics.EdgeDepths remains the
+// end-of-run summary. Fused-away edges and edges never sampled do not
+// appear.
+func (g *Graph) EdgeDepths() map[string]EdgeDepth {
+	out := map[string]EdgeDepth{}
+	for _, n := range g.nodes {
+		for _, e := range n.downstream {
+			s := e.depth.samples.Load()
+			if s == 0 {
+				continue
+			}
+			out[n.name+"→"+e.to.name] = EdgeDepth{
+				Samples: s,
+				Mean:    float64(e.depth.sum.Load()) / float64(s),
+				Max:     e.depth.max.Load(),
+			}
+		}
+	}
+	return out
+}
+
 // collectEdgeDepths folds the per-edge gauges into the metrics at the
 // end of a run.
 func (m *Metrics) collectEdgeDepths(g *Graph) {

@@ -203,6 +203,25 @@ func (e *edge) partition(key string) int {
 	return int(keyHash(key) % uint64(len(e.conds)))
 }
 
+// KeyHash exposes the engine's stable key hash. Anything that routes
+// events toward a keyed edge from outside the graph — the ingest
+// server's shard fan-in, external partition planning — must use this
+// exact function: shard assignment has to agree with keyed-edge
+// partitioning bit-for-bit, or a key's events land on a worker that
+// does not own (or, after a restore, did not serialize) that key's
+// window state.
+func KeyHash(key string) uint64 { return keyHash(key) }
+
+// PartitionOf returns the partition in [0, parts) that keyed routing
+// assigns to key — the same index edge.partition computes for a keyed
+// edge with parts conduits. parts < 2 always yields 0.
+func PartitionOf(key string, parts int) int {
+	if parts < 2 {
+		return 0
+	}
+	return int(keyHash(key) % uint64(parts))
+}
+
 // keyHash is a stable FNV-1a hash with a splitmix64 finalizer. Unlike
 // the per-process random seeding of hash/maphash, it assigns every key
 // the same worker in every run of every process — a restored checkpoint

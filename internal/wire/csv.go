@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+
+	"sound/internal/series"
+)
+
+// ErrQuotedCSV reports a line containing a '"' byte. The streaming
+// scanner splits on bare commas and newlines only; quoted fields (which
+// may embed both) need the full encoding/csv state machine, so callers
+// fall back to series.ReadCSV for such files instead of getting a
+// silently different parse.
+var ErrQuotedCSV = errors.New("wire: quoted CSV field needs the non-streaming reader")
+
+// CSVScanner streams points from a CSV file in the t,v[,sig_up
+// [,sig_down]] layout of series.ReadCSV, holding O(1) memory: one line
+// buffer instead of the whole file. Rows decode through
+// series.ParsePointRecord — the same function ReadCSV uses — so header
+// detection, optional columns, and error wording are identical to the
+// slurping path. (Header detection costs one strconv error allocation,
+// once per file; data rows allocate nothing.) Unlike ReadCSV it cannot sort after the fact; callers
+// that need sortedness check it during a pre-pass (soundcheck) or
+// require sorted input. Errors are sticky.
+type CSVScanner struct {
+	lr   *lineReader
+	line int
+	err  error
+}
+
+func NewCSVScanner(r io.Reader) *CSVScanner {
+	return &CSVScanner{lr: newLineReader(r, 4096)}
+}
+
+// Reset rebinds the scanner to a new stream, keeping the line buffer.
+func (sc *CSVScanner) Reset(r io.Reader) {
+	sc.lr.reset(r)
+	sc.line = 0
+	sc.err = nil
+}
+
+// Next returns the next data point, skipping a header row and blank
+// lines, or io.EOF at a clean end of file.
+func (sc *CSVScanner) Next() (series.Point, error) {
+	if sc.err != nil {
+		return series.Point{}, sc.err
+	}
+	for {
+		b, err := sc.lr.next()
+		if err != nil {
+			sc.err = err
+			return series.Point{}, err
+		}
+		if len(b) == 0 {
+			continue // encoding/csv skips empty lines too
+		}
+		if bytes.IndexByte(b, '"') >= 0 {
+			sc.err = ErrQuotedCSV
+			return series.Point{}, sc.err
+		}
+		sc.line++
+		// Split into at most 4 field views over the line buffer; extra
+		// fields only matter by count (ParsePointRecord ignores their
+		// content, like ReadCSV with FieldsPerRecord = -1).
+		var fields [4]string
+		nf := 0
+		for rest := b; ; {
+			i := bytes.IndexByte(rest, ',')
+			f := rest
+			if i >= 0 {
+				f = rest[:i]
+			}
+			if nf < 4 {
+				fields[nf] = unsafeString(f)
+			}
+			nf++
+			if i < 0 {
+				break
+			}
+			rest = rest[i+1:]
+		}
+		n := nf
+		if n > 4 {
+			n = 4
+		}
+		p, header, err := series.ParsePointRecord(sc.line, fields[:n])
+		if err != nil {
+			sc.err = err
+			return series.Point{}, sc.err
+		}
+		if header {
+			continue
+		}
+		return p, nil
+	}
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"sound/internal/stream"
+)
+
+// FuzzWireDecode throws arbitrary bytes at all three wire decoders.
+// Invariants: no decoder may panic; frames that do decode must
+// round-trip bit-identically through the encoder; and every error must
+// be sticky — after the first failure a decoder keeps returning the
+// same error instead of resynchronizing into garbage.
+func FuzzWireDecode(f *testing.F) {
+	valid, err := AppendFrame(nil, []stream.Event{
+		{Time: 1, Key: "k", Value: 2.5, SigUp: 0.5, SigDown: 0.25},
+		{Time: 2, Key: "other", Value: math.Inf(-1)},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])        // torn write
+	f.Add(valid[:frameHeaderSize])     // header only
+	f.Add(append([]byte{}, "SNDF"...)) // bare magic
+	f.Add([]byte("{\"t\":1,\"v\":2}\n{malformed"))
+	f.Add([]byte("t,v\n1,2\n3,nope\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		func() {
+			dec := NewFrameDecoder(bytes.NewReader(data))
+			for {
+				evs, err := dec.Next()
+				if err != nil {
+					if err != io.EOF {
+						if _, again := dec.Next(); again != err {
+							t.Fatalf("frame error not sticky: %v then %v", err, again)
+						}
+					}
+					return
+				}
+				// A frame the decoder accepted must re-encode and decode
+				// to the same events (canonical bytes may differ: the
+				// wire tolerates non-minimal uvarints, the encoder does
+				// not emit them).
+				re, err := AppendFrame(nil, evs)
+				if err != nil {
+					t.Fatalf("re-encode of decoded frame failed: %v", err)
+				}
+				back, err := NewFrameDecoder(bytes.NewReader(re)).Next()
+				if err != nil {
+					t.Fatalf("re-decode failed: %v", err)
+				}
+				if len(back) != len(evs) {
+					t.Fatalf("round trip changed event count: %d != %d", len(back), len(evs))
+				}
+				for i := range evs {
+					if !eventsEqual(back[i], evs[i]) {
+						t.Fatalf("round trip changed event %d: %+v != %+v", i, back[i], evs[i])
+					}
+				}
+			}
+		}()
+
+		nd := NewNDJSONDecoder(bytes.NewReader(data))
+		for {
+			if _, err := nd.Next(); err != nil {
+				if err != io.EOF {
+					if _, again := nd.Next(); again != err {
+						t.Fatalf("ndjson error not sticky: %v then %v", err, again)
+					}
+				}
+				break
+			}
+		}
+
+		sc := NewCSVScanner(bytes.NewReader(data))
+		for {
+			if _, err := sc.Next(); err != nil {
+				if err != io.EOF {
+					if _, again := sc.Next(); again != err {
+						t.Fatalf("csv error not sticky: %v then %v", err, again)
+					}
+				}
+				break
+			}
+		}
+	})
+}
