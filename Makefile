@@ -29,13 +29,15 @@ bench:
 # bench-smoke executes each hot-path/ablation benchmark body a fixed
 # handful of times — correctness of the workloads, not timing.
 bench-smoke:
-	$(GO) test -bench='Evaluate|Draw|Kernel|Ablation|StreamCheck|StreamThroughput|Explain|Summarize|Checkpoint|Decode|Ingest' -benchtime=10x -run=^$$ .
+	$(GO) test -bench='Evaluate|Draw|Kernel|Ablation|StreamCheck|StreamThroughput|Explain|Summarize|Checkpoint|Decode|Ingest|MultiCheck' -benchtime=10x -run=^$$ .
 
 # fuzz smoke-runs the hostile-input fuzz targets for FUZZTIME each: the
 # snapshot codec (corrupt checkpoints must error, never panic, and
 # valid ones must re-encode bit-identically), the kernel/closure
-# evaluation parity, and the CSV reader. Long exploratory runs: raise
-# FUZZTIME or run `go test -fuzz` on one target directly.
+# evaluation parity, the CSV reader, the wire decoders, and the check
+# registration grammar POST /checks exposes to untrusted clients. Long
+# exploratory runs: raise FUZZTIME or run `go test -fuzz` on one target
+# directly.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(FUZZTIME) ./internal/checkpoint
@@ -43,6 +45,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzKernelScalarParity -fuzztime=$(FUZZTIME) ./internal/resample
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/series
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzParseCheck -fuzztime=$(FUZZTIME) ./internal/ingest
 
 # serve-smoke replays the pinned fixture through soundserve's TCP and
 # HTTP wire paths and diffs the verdict counters against a direct
@@ -53,7 +56,7 @@ serve-smoke:
 
 # benchjson regenerates the machine-readable hot-path benchmark record.
 benchjson:
-	$(GO) run ./cmd/soundbench -benchjson BENCH_PR9.json
+	$(GO) run ./cmd/soundbench -benchjson BENCH_PR10.json
 
 # benchcmp diffs the two most recent benchmark records (BENCH_*.json in
 # natural version order) spec by spec — ns/op, allocs/op, and domain

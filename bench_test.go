@@ -132,6 +132,20 @@ func BenchmarkStreamFusion(b *testing.B) {
 	b.Run("off", func(b *testing.B) { bench.StreamFusion(b, false) })
 }
 
+// BenchmarkMultiCheck prices a suite of n co-window checks on one
+// uncertain stream: n independent single-check operators (n sample
+// matrices per window) against one multiplexed bucket (one shared
+// matrix, members retiring as they decide). The pair at equal n is the
+// multiplexing speedup; shared draws/window stays flat in n.
+func BenchmarkMultiCheck(b *testing.B) {
+	b.Run("independent/checks1", func(b *testing.B) { bench.MultiCheck(b, false, 1) })
+	b.Run("independent/checks8", func(b *testing.B) { bench.MultiCheck(b, false, 8) })
+	b.Run("independent/checks64", func(b *testing.B) { bench.MultiCheck(b, false, 64) })
+	b.Run("shared/checks1", func(b *testing.B) { bench.MultiCheck(b, true, 1) })
+	b.Run("shared/checks8", func(b *testing.B) { bench.MultiCheck(b, true, 8) })
+	b.Run("shared/checks64", func(b *testing.B) { bench.MultiCheck(b, true, 64) })
+}
+
 // BenchmarkDecode prices the wire codecs (internal/wire) on warm
 // decoders: zero allocations per event is the contract.
 func BenchmarkDecode(b *testing.B) {

@@ -34,6 +34,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 
 	"sound"
@@ -60,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Uint64("seed", 1, "deterministic seed (per-check seed=... overrides)")
 		ttl        = fs.Float64("ttl", 0, "evict window groups idle for this much event time (0 keeps all groups)")
 		maxGroups  = fs.Int("max-groups", 0, "cap live window groups per check worker, LRU-evicted (0 is unlimited)")
+		maxChecks  = fs.Int("max-checks", 0, "cap concurrently registered checks — admission quota for POST /checks (0 is unlimited)")
 		selftest   = fs.Bool("selftest", false, "replay -fixture through both wire paths and diff against a single-process evaluation")
 		fixture    = fs.String("fixture", "", "CSV fixture for -selftest (t,v[,sig_up[,sig_down]])")
 	)
@@ -81,8 +84,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runSelftest(*fixture, specs, params, *seed, evict, *shards, *batch, stdout, stderr)
 	}
 
-	if len(specs) == 0 {
-		return fail(stderr, fmt.Errorf("no checks registered (repeatable -check 'range;min=0;max=100;window=time:60')"))
+	if len(specs) == 0 && *httpAddr == "" {
+		return fail(stderr, fmt.Errorf("no checks registered (repeatable -check '...', or enable -http for POST /checks registration)"))
 	}
 	if *tcpAddr == "" && *httpAddr == "" {
 		return fail(stderr, fmt.Errorf("nothing to listen on (set -tcp and/or -http)"))
@@ -91,7 +94,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
-	srv, err := ingest.NewServer(ingest.Config{Shards: *shards, BatchSize: *batch, Checks: cfgs})
+	srv, err := ingest.NewServer(ingest.Config{
+		Shards: *shards, BatchSize: *batch, Checks: cfgs,
+		MaxChecks: *maxChecks, Evict: evict,
+		DefaultParams: params, DefaultSeed: *seed,
+	})
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -171,12 +178,16 @@ func buildChecks(specs []string, params sound.Params, seed uint64, evict checker
 }
 
 // selftestSpecs is the default -selftest suite when no -check is given:
-// the pinned window trio over a fraction-in-range constraint, the same
-// shapes the repo's stream goldens pin.
+// the pinned window trio over a fraction-in-range constraint (the same
+// shapes the repo's stream goldens pin), plus two more constraints on
+// the tumbling window — with "tumbling" they form a multiplexing bucket
+// of three co-window checks exercising the shared-draw path end to end.
 var selftestSpecs = []string{
 	"fraction;min=0;max=13;threshold=0.8;window=time:12:5;name=sliding",
 	"fraction;min=0;max=13;threshold=0.8;window=time:9;name=tumbling",
 	"fraction;min=0;max=13;threshold=0.8;window=count:8:3;name=count",
+	"range;min=-2;max=14;window=time:9;name=shared-range",
+	"maxdelta;threshold=9;window=time:9;name=shared-delta",
 }
 
 type counts3 = [3]int // satisfied, violated, inconclusive
@@ -212,15 +223,15 @@ func runSelftest(fixture string, specs []string, params sound.Params, seed uint6
 	if err != nil {
 		return fail(stderr, err)
 	}
-	ref, err := referenceCounts(cfgs, evs)
+	ref, refGroups, err := referenceCounts(cfgs, evs)
 	if err != nil {
 		return fail(stderr, err)
 	}
-	tcp, err := selftestTCP(cfgs, evs, shards, batch)
+	tcp, tcpGroups, err := selftestTCP(cfgs, evs, shards, batch)
 	if err != nil {
 		return fail(stderr, fmt.Errorf("tcp pass: %w", err))
 	}
-	httpc, err := selftestHTTP(cfgs, evs, shards, batch)
+	httpc, httpGroups, err := selftestHTTP(specs, params, seed, evict, evs, shards, batch)
 	if err != nil {
 		return fail(stderr, fmt.Errorf("http pass: %w", err))
 	}
@@ -232,8 +243,20 @@ func runSelftest(fixture string, specs []string, params sound.Params, seed uint6
 			status = "MISMATCH"
 			ok = false
 		}
-		fmt.Fprintf(stdout, "selftest %-10s ref ⊤%d ⊥%d ⊣%d  tcp ⊤%d ⊥%d ⊣%d  http ⊤%d ⊥%d ⊣%d  %s\n",
+		fmt.Fprintf(stdout, "selftest %-12s ref ⊤%d ⊥%d ⊣%d  tcp ⊤%d ⊥%d ⊣%d  http ⊤%d ⊥%d ⊣%d  %s\n",
 			cfg.Name, r[0], r[1], r[2], tc[0], tc[1], tc[2], hc[0], hc[1], hc[2], status)
+	}
+	for _, g := range refGroups {
+		fmt.Fprintf(stdout, "selftest group %v shared=%v windows=%d draws=%d extraction-hit=%.2f\n",
+			g.Checks, g.Shared, g.Windows, g.Draws, g.SharedExtractionHitRatio)
+	}
+	if err := sameGroups(refGroups, tcpGroups); err != nil {
+		fmt.Fprintln(stderr, "soundserve: selftest FAILED: tcp group stats:", err)
+		ok = false
+	}
+	if err := sameGroups(refGroups, httpGroups); err != nil {
+		fmt.Fprintln(stderr, "soundserve: selftest FAILED: http group stats:", err)
+		ok = false
 	}
 	if !ok {
 		fmt.Fprintln(stderr, "soundserve: selftest FAILED: wire paths diverged from the single-process evaluation")
@@ -243,33 +266,73 @@ func runSelftest(fixture string, specs []string, params sound.Params, seed uint6
 	return 0
 }
 
-// referenceCounts evaluates each check single-process — one operator
-// instance fed in order, no server, no sharding — producing the ground
-// truth the wire paths must reproduce.
-func referenceCounts(cfgs []ingest.CheckConfig, evs []stream.Event) (map[string]counts3, error) {
-	out := map[string]counts3{}
-	drop := func(stream.Event) {}
+// referenceCounts evaluates the whole suite single-process — ONE
+// multiplexed operator instance fed in order, no server, no sharding —
+// producing the ground truth the wire paths must reproduce. Valid as a
+// bit-exact reference because every selftest event shares one key, so
+// the server's fan-in delivers the same ordered stream to one worker.
+func referenceCounts(cfgs []ingest.CheckConfig, evs []stream.Event) (map[string]counts3, []checker.GroupStat, error) {
+	mux := checker.NewMux(false, checker.EvictionPolicy{})
+	outs := make(map[string]*checker.StreamOutcomes, len(cfgs))
 	for _, cc := range cfgs {
 		o := &checker.StreamOutcomes{}
-		factory, err := checker.NewStreamChecker(checker.StreamCheck{
-			Check: cc.Check, Params: cc.Params, Seed: cc.Seed, Naive: cc.Naive,
-			Out: o, Route: cc.Route, Evict: cc.Evict,
-		})
-		if err != nil {
-			return nil, err
+		outs[cc.Name] = o
+		routeID := cc.RouteSpec
+		if cc.Route == nil {
+			routeID = "event"
 		}
-		p := factory()
-		if wi, ok := p.(stream.WorkerIndexed); ok {
-			wi.SetWorkerIndex(0)
+		if err := mux.Register(checker.MuxCheck{
+			Name: cc.Name, Check: cc.Check, Params: cc.Params, Seed: cc.Seed,
+			Naive: cc.Naive, Route: cc.Route, RouteID: routeID, Out: o,
+		}); err != nil {
+			return nil, nil, err
 		}
-		for _, ev := range evs {
-			p.Process(ev, drop)
-		}
-		p.Flush(drop)
-		c := o.Counts()
-		out[cc.Name] = counts3{c.Satisfied, c.Violated, c.Inconclusive}
 	}
-	return out, nil
+	p := mux.Factory()()
+	if wi, ok := p.(stream.WorkerIndexed); ok {
+		wi.SetWorkerIndex(0)
+	}
+	drop := func(stream.Event) {}
+	for _, ev := range evs {
+		p.Process(ev, drop)
+	}
+	p.Flush(drop)
+	out := map[string]counts3{}
+	for name, o := range outs {
+		c := o.Counts()
+		out[name] = counts3{c.Satisfied, c.Violated, c.Inconclusive}
+	}
+	return out, mux.GroupStats(), nil
+}
+
+// sameGroups diffs two multiplexing-bucket reports: same buckets, same
+// members, same sharing counters. Bucket order may differ between the
+// reference and a server (registration vs config order), so buckets are
+// matched by member set.
+func sameGroups(want, got []checker.GroupStat) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d buckets, want %d", len(got), len(want))
+	}
+	key := func(g checker.GroupStat) string {
+		names := append([]string(nil), g.Checks...)
+		sort.Strings(names)
+		return strings.Join(names, ",")
+	}
+	byKey := map[string]checker.GroupStat{}
+	for _, g := range want {
+		byKey[key(g)] = g
+	}
+	for _, g := range got {
+		w, ok := byKey[key(g)]
+		if !ok {
+			return fmt.Errorf("unexpected bucket %v", g.Checks)
+		}
+		if g.Shared != w.Shared || g.Windows != w.Windows || g.MemberEvals != w.MemberEvals || g.Draws != w.Draws {
+			return fmt.Errorf("bucket %v: shared=%v windows=%d evals=%d draws=%d, want shared=%v windows=%d evals=%d draws=%d",
+				g.Checks, g.Shared, g.Windows, g.MemberEvals, g.Draws, w.Shared, w.Windows, w.MemberEvals, w.Draws)
+		}
+	}
+	return nil
 }
 
 func statsCounts(st ingest.Stats, nEvents int) (map[string]counts3, error) {
@@ -288,55 +351,76 @@ func statsCounts(st ingest.Stats, nEvents int) (map[string]counts3, error) {
 
 // selftestTCP replays the events as binary frames over a real loopback
 // TCP connection.
-func selftestTCP(cfgs []ingest.CheckConfig, evs []stream.Event, shards, batch int) (map[string]counts3, error) {
+func selftestTCP(cfgs []ingest.CheckConfig, evs []stream.Event, shards, batch int) (map[string]counts3, []checker.GroupStat, error) {
 	srv, err := ingest.NewServer(ingest.Config{Shards: shards, BatchSize: batch, Checks: cfgs})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	go srv.ServeTCP(ln)
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	bw := bufio.NewWriter(conn)
 	enc := wire.NewFrameEncoder(bw)
 	frame := max(batch, 1)
 	for off := 0; off < len(evs); off += frame {
 		if err := enc.Encode(evs[off:min(off+frame, len(evs))]); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := conn.Close(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := srv.Drain(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return statsCounts(srv.Stats(), len(evs))
+	st := srv.Stats()
+	counts, err := statsCounts(st, len(evs))
+	return counts, st.Groups, err
 }
 
 // selftestHTTP replays the events as one NDJSON POST against a fresh
 // server listening on a real loopback socket, then drains over HTTP.
-func selftestHTTP(cfgs []ingest.CheckConfig, evs []stream.Event, shards, batch int) (map[string]counts3, error) {
-	srv, err := ingest.NewServer(ingest.Config{Shards: shards, BatchSize: batch, Checks: cfgs})
+// The server starts with ZERO checks: the suite is registered live over
+// POST /checks, so the pass also proves dynamic registration is
+// semantics-free — a check added over the wire counts exactly like one
+// configured at boot.
+func selftestHTTP(specs []string, params sound.Params, seed uint64, evict checker.EvictionPolicy, evs []stream.Event, shards, batch int) (map[string]counts3, []checker.GroupStat, error) {
+	srv, err := ingest.NewServer(ingest.Config{
+		Shards: shards, BatchSize: batch,
+		Evict: evict, DefaultParams: params, DefaultSeed: seed,
+	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hsrv := &http.Server{Handler: srv.Handler()}
 	go hsrv.Serve(ln)
 	defer hsrv.Close()
 	base := "http://" + ln.Addr().String()
+
+	for _, spec := range specs {
+		resp, err := http.Post(base+"/checks", "text/plain", strings.NewReader(spec))
+		if err != nil {
+			return nil, nil, err
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, nil, fmt.Errorf("register %q: status %d: %s", spec, resp.StatusCode, bytes.TrimSpace(msg))
+		}
+	}
 
 	var body []byte
 	for _, ev := range evs {
@@ -344,7 +428,7 @@ func selftestHTTP(cfgs []ingest.CheckConfig, evs []stream.Event, shards, batch i
 	}
 	resp, err := http.Post(base+"/ingest", "application/x-ndjson", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var ack struct {
 		Ingested int    `json:"ingested"`
@@ -353,23 +437,24 @@ func selftestHTTP(cfgs []ingest.CheckConfig, evs []stream.Event, shards, batch i
 	err = json.NewDecoder(resp.Body).Decode(&ack)
 	resp.Body.Close()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.StatusCode != http.StatusOK || ack.Ingested != len(evs) {
-		return nil, fmt.Errorf("ingest: status %d, ingested %d of %d (%s)", resp.StatusCode, ack.Ingested, len(evs), ack.Error)
+		return nil, nil, fmt.Errorf("ingest: status %d, ingested %d of %d (%s)", resp.StatusCode, ack.Ingested, len(evs), ack.Error)
 	}
 	resp, err = http.Post(base+"/drain", "", nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var st ingest.Stats
 	err = json.NewDecoder(resp.Body).Decode(&st)
 	resp.Body.Close()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if st.Err != "" {
-		return nil, fmt.Errorf("drain: %s", st.Err)
+		return nil, nil, fmt.Errorf("drain: %s", st.Err)
 	}
-	return statsCounts(st, len(evs))
+	counts, err := statsCounts(st, len(evs))
+	return counts, st.Groups, err
 }

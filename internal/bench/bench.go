@@ -78,6 +78,12 @@ func Specs() []Spec {
 		{"Summarize/parallel", func(b *testing.B) { Summarize(b, runtime.GOMAXPROCS(0)) }},
 		{"Checkpoint/snapshot", func(b *testing.B) { Checkpoint(b, false) }},
 		{"Checkpoint/restore", func(b *testing.B) { Checkpoint(b, true) }},
+		{"MultiCheck/independent/checks1", func(b *testing.B) { MultiCheck(b, false, 1) }},
+		{"MultiCheck/independent/checks8", func(b *testing.B) { MultiCheck(b, false, 8) }},
+		{"MultiCheck/independent/checks64", func(b *testing.B) { MultiCheck(b, false, 64) }},
+		{"MultiCheck/shared/checks1", func(b *testing.B) { MultiCheck(b, true, 1) }},
+		{"MultiCheck/shared/checks8", func(b *testing.B) { MultiCheck(b, true, 8) }},
+		{"MultiCheck/shared/checks64", func(b *testing.B) { MultiCheck(b, true, 64) }},
 	}
 }
 
@@ -343,6 +349,99 @@ func Checkpoint(b *testing.B, restore bool) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nGroups), "ns/group")
+}
+
+// multiCheckSuite builds n distinct borderline unary constraints over
+// one shared count window: same multiplexing class (params, window
+// assigner, arity, seed), different decision surfaces — the shape a
+// real suite of per-metric sanity checks takes.
+func multiCheckSuite(n int) []core.Check {
+	checks := make([]core.Check, n)
+	for i := range checks {
+		name := fmt.Sprintf("frac%02d", i)
+		checks[i] = core.Check{
+			Name:        name,
+			Constraint:  core.FractionInRange(0, 9+float64(i%5), 0.7),
+			SeriesNames: []string{"s"},
+			Window:      sound.CountWindow{Size: 32},
+		}
+	}
+	return checks
+}
+
+// MultiCheck prices a suite of n co-window checks on one uncertain
+// keyed stream. independent runs n single-check operators side by side
+// — n window extractions and n private sample matrices per window, the
+// pre-multiplexing cost model. shared registers the same n checks in
+// one Mux bucket: one extraction, one shared sample matrix drawn from
+// the window-derived RNG, members retiring as their decisions land.
+// The pair at equal n is the multiplexing speedup; the shared variant's
+// draws/window metric staying flat from checks8 to checks64 is the
+// shared-matrix claim measured directly.
+func MultiCheck(b *testing.B, shared bool, nChecks int) {
+	const nEvents = 2048
+	params := core.Params{Credibility: 0.95, MaxSamples: 100}
+	suite := multiCheckSuite(nChecks)
+	keys := [8]string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	events := make([]stream.Event, nEvents)
+	for i := range events {
+		// Borderline values with real uncertainty: every window resolves
+		// by sampling, so draw cost dominates and sharing has something
+		// to save.
+		events[i] = stream.Event{Time: float64(i / 8), Key: keys[i%8], Value: 5 + float64(i%9), SigUp: 2, SigDown: 2}
+	}
+	emit := func(stream.Event) {}
+	var procs func() []stream.Processor
+	var mux *checker.Mux
+	if shared {
+		mux = checker.NewMux(false, checker.EvictionPolicy{})
+		for _, ck := range suite {
+			if err := mux.Register(checker.MuxCheck{
+				Name: ck.Name, Check: ck, Params: params, Seed: 7, RouteID: "event",
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		factory := mux.Factory()
+		procs = func() []stream.Processor { return []stream.Processor{factory()} }
+	} else {
+		factories := make([]func() stream.Processor, nChecks)
+		for i, ck := range suite {
+			f, err := checker.NewStreamChecker(checker.StreamCheck{Check: ck, Params: params, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			factories[i] = f
+		}
+		procs = func() []stream.Processor {
+			ps := make([]stream.Processor, nChecks)
+			for i, f := range factories {
+				ps[i] = f()
+			}
+			return ps
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := procs()
+		for _, ev := range events {
+			for _, p := range ps {
+				p.Process(ev, emit)
+			}
+		}
+		for _, p := range ps {
+			p.Flush(emit)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nEvents), "ns/event")
+	if mux != nil {
+		for _, g := range mux.GroupStats() {
+			if g.Shared && g.Windows > 0 {
+				b.ReportMetric(float64(g.Draws)/float64(g.Windows), "draws/window")
+			}
+		}
+	}
 }
 
 // StreamThroughput measures end-to-end ingest throughput through a real

@@ -198,9 +198,9 @@ func (c *streamChecker) SetWorkerIndex(w int) {
 // groups in LRU order (coldest first), so decode rebuilds the identical
 // recency list by re-inserting in order.
 func (c *streamChecker) encodeState(enc *checkpoint.Encoder) {
-	if c.eval != nil {
+	if c.evals[0] != nil {
 		enc.Bool(true)
-		c.eval.EncodeState(enc)
+		c.evals[0].EncodeState(enc)
 	} else {
 		enc.Bool(false)
 	}
@@ -219,11 +219,11 @@ func (c *streamChecker) encodeState(enc *checkpoint.Encoder) {
 // before the worker processes any event.
 func (c *streamChecker) decodeState(dec *checkpoint.Decoder) error {
 	if dec.Bool() {
-		ev, err := c.plan.DecodeEvaluator(dec)
+		ev, err := c.members[0].plan.DecodeEvaluator(dec)
 		if err != nil {
 			return err
 		}
-		c.eval = ev
+		c.evals[0] = ev
 	}
 	c.opWatermark = dec.F64()
 	n := dec.Int()
@@ -232,7 +232,7 @@ func (c *streamChecker) decodeState(dec *checkpoint.Decoder) error {
 	}
 	for i := 0; i < n; i++ {
 		g := &groupState{}
-		if err := g.decodeFrom(dec, c.arity, !c.naive); err != nil {
+		if err := g.decodeFrom(dec, c.arity, c.useExt); err != nil {
 			return err
 		}
 		if c.groups[g.key] != nil {

@@ -194,22 +194,31 @@ func (c *streamChecker) evictGroup(g *groupState) {
 	if c.lastG == g {
 		c.lastKey, c.lastG = "", nil
 	}
-	if c.out != nil {
-		c.out.evictedGroups.Add(1)
+	// Every member observes its shared state's lifecycle events: each
+	// check's counters stay meaningful even though the buffers are held
+	// once for the whole bucket.
+	for _, m := range c.members {
+		if m.out != nil {
+			m.out.evictedGroups.Add(1)
+		}
 	}
 }
 
 // noteDroppedLate counts an event below its group's fired horizon.
 func (c *streamChecker) noteDroppedLate() {
-	if c.out != nil {
-		c.out.droppedLate.Add(1)
+	for _, m := range c.members {
+		if m.out != nil {
+			m.out.droppedLate.Add(1)
+		}
 	}
 }
 
 // noteRejected counts an event refused by the admission policy.
 func (c *streamChecker) noteRejected() {
-	if c.out != nil {
-		c.out.rejectedEvents.Add(1)
+	for _, m := range c.members {
+		if m.out != nil {
+			m.out.rejectedEvents.Add(1)
+		}
 	}
 }
 

@@ -1,0 +1,278 @@
+package checker
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sound/internal/core"
+	"sound/internal/resample"
+	"sound/internal/stream"
+)
+
+// This file is the checker's half of window multiplexing (DESIGN.md
+// §4l): one stream operator hosting a whole bucket of member checks
+// over ONE set of window buffers and ONE extraction per (key, window),
+// evaluating fired windows through a shared core.PlanGroup. The
+// eviction layer charges the shared state once — the operator owns one
+// groupState per key regardless of member count — instead of K times
+// as K independent operators would.
+
+// memberSpec is one check's compiled identity inside an operator,
+// shared by every worker instance (and across Mux bucket rebuilds, so
+// registration churn elsewhere never disturbs a member's counters).
+type memberSpec struct {
+	check     core.Check
+	plan      *core.CheckPlan
+	naive     bool
+	out       *StreamOutcomes
+	onOutcome func(key string, o core.Outcome)
+	// seq hands legacy-path evaluator seed slots to workers in the order
+	// they first *evaluate*, not the order their Processor instances are
+	// created: a worker whose keyed partition never receives an event
+	// never claims a slot. Runs whose events all land on one worker are
+	// therefore bit-identical for every worker count and batch size.
+	// Defaults to ownSeq; a checkpoint registry substitutes its own.
+	seq    *atomic.Uint64
+	ownSeq atomic.Uint64
+}
+
+// newMemberSpec compiles one member check and validates it can stream.
+func newMemberSpec(ck core.Check, params core.Params, seed uint64, naive bool, out *StreamOutcomes, onOutcome func(string, core.Outcome)) (*memberSpec, error) {
+	plan, err := core.CompilePlan(ck, params, seed)
+	if err != nil {
+		return nil, err
+	}
+	asg := plan.Assigner()
+	switch asg.Kind {
+	case core.KindCustom:
+		return nil, fmt.Errorf("checker: check %q uses windower %v, which has no stream assigner", ck.Name, ck.Window)
+	case core.KindSession:
+		if plan.Arity() != 1 {
+			return nil, fmt.Errorf("checker: check %q: session windows stream only for unary checks", ck.Name)
+		}
+	}
+	m := &memberSpec{check: plan.Check(), plan: plan, naive: naive, out: out, onOutcome: onOutcome}
+	m.seq = &m.ownSeq
+	return m, nil
+}
+
+// deliver records one outcome with the member's sinks.
+func (m *memberSpec) deliver(key string, o core.Outcome) {
+	if m.out != nil {
+		m.out.Add(o)
+	}
+	if m.onOutcome != nil {
+		m.onOutcome(key, o)
+	}
+}
+
+// GroupMetrics aggregates one bucket's sharing counters across all its
+// worker instances and shards. Safe for concurrent use.
+type GroupMetrics struct {
+	windows, memberEvals, draws, retired, primes atomic.Int64
+}
+
+func (gm *GroupMetrics) record(ev core.GroupEval, members int) {
+	gm.windows.Add(1)
+	gm.memberEvals.Add(int64(members))
+	gm.draws.Add(int64(ev.Draws))
+	gm.retired.Add(int64(ev.Retired))
+	gm.primes.Add(int64(ev.Primes))
+}
+
+// GroupMetricsSnapshot is a point-in-time read of a bucket's counters.
+type GroupMetricsSnapshot struct {
+	// Windows is the number of shared window evaluations.
+	Windows int64
+	// MemberEvals is the number of member verdicts those produced.
+	MemberEvals int64
+	// Draws is the number of physical Monte-Carlo samples drawn — flat
+	// in the member count, the multiplexing win.
+	Draws int64
+	// RetiredEarly counts members that stopped consuming the shared
+	// stream before its last draw (Alg. 1 decided them early).
+	RetiredEarly int64
+	// Primes is the number of extractions primed (one per strategy lane
+	// per window); MemberEvals − Primes extractions were shared.
+	Primes int64
+}
+
+// Snapshot reads the counters.
+func (gm *GroupMetrics) Snapshot() GroupMetricsSnapshot {
+	return GroupMetricsSnapshot{
+		Windows:      gm.windows.Load(),
+		MemberEvals:  gm.memberEvals.Load(),
+		Draws:        gm.draws.Load(),
+		RetiredEarly: gm.retired.Load(),
+		Primes:       gm.primes.Load(),
+	}
+}
+
+// SharedHitRatio is the fraction of member evaluations that reused an
+// extraction primed for another member: 1 − Primes/MemberEvals.
+func (s GroupMetricsSnapshot) SharedHitRatio() float64 {
+	if s.MemberEvals == 0 {
+		return 0
+	}
+	r := 1 - float64(s.Primes)/float64(s.MemberEvals)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// StreamMember configures one member of a multiplexed operator.
+type StreamMember struct {
+	Check  core.Check
+	Params core.Params
+	Seed   uint64
+	// Naive selects BASE_CHECK semantics; naive members share the
+	// operator's window buffers but never join the draw-sharing group.
+	Naive bool
+	Out   *StreamOutcomes
+	// OnOutcome observes every (group key, outcome) pair, on the
+	// evaluating worker's goroutine.
+	OnOutcome func(key string, o core.Outcome)
+}
+
+// MultiStreamCheck configures a multiplexed stream operator: a bucket
+// of member checks sharing one window spec, one route, and one keyed
+// window state. SOUND members must share one core.GroupClass (same
+// normalized params, window assigner, arity, and base seed) — the
+// condition under which one drawn sample matrix serves them all.
+type MultiStreamCheck struct {
+	Members []StreamMember
+	// Forward passes every input event downstream unchanged.
+	Forward bool
+	// Route attributes events to check inputs and window groups; nil
+	// defaults to ByEventKey for unary members.
+	Route RouteFunc
+	// Evict bounds the operator's keyed state; the shared buffers are
+	// charged once for the whole bucket, not per member.
+	Evict EvictionPolicy
+	// Metrics, when set, accumulates the bucket's sharing counters.
+	// Only the shared path (≥ 2 SOUND members) records.
+	Metrics *GroupMetrics
+}
+
+// NewMultiStreamChecker compiles the member bucket into one multiplexed
+// operator factory. With a single SOUND member the operator degenerates
+// to the legacy per-check path bit-for-bit; with two or more, windows
+// evaluate through a shared PlanGroup with window-derived draws.
+// Multiplexed operators are not checkpointable (no Registry): the
+// shared path keeps no evaluator state worth snapshotting — its RNG is
+// derived per window — and the single-member case that needs exact RNG
+// continuation uses NewStreamChecker.
+func NewMultiStreamChecker(cfg MultiStreamCheck) (func() stream.Processor, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("checker: multiplexed operator needs at least one member")
+	}
+	members := make([]*memberSpec, len(cfg.Members))
+	for i, mc := range cfg.Members {
+		m, err := newMemberSpec(mc.Check, mc.Params, mc.Seed, mc.Naive, mc.Out, mc.OnOutcome)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = m
+	}
+	if err := validateBucket(members); err != nil {
+		return nil, err
+	}
+	route, err := resolveRoute(cfg.Route, &members[0].check, members[0].plan.Arity())
+	if err != nil {
+		return nil, err
+	}
+	return func() stream.Processor {
+		return newOperator(members, route, cfg.Forward, cfg.Evict, nil, cfg.Metrics)
+	}, nil
+}
+
+// validateBucket enforces the sharing preconditions: every member sees
+// the same window machinery (assigner + arity), and the SOUND members
+// form one GroupClass.
+func validateBucket(members []*memberSpec) error {
+	asg := members[0].plan.Assigner()
+	arity := members[0].plan.Arity()
+	var cls *core.GroupClass
+	for _, m := range members {
+		if m.plan.Assigner() != asg || m.plan.Arity() != arity {
+			return fmt.Errorf("checker: member %q window/arity differs from the bucket's", m.check.Name)
+		}
+		if m.naive {
+			continue
+		}
+		c := m.plan.Class()
+		if cls == nil {
+			cls = &c
+		} else if c != *cls {
+			return fmt.Errorf("checker: member %q params/seed class differs from the bucket's", m.check.Name)
+		}
+	}
+	return nil
+}
+
+// installMembers (re)binds the member set of a worker instance,
+// switching between the legacy and shared paths. Existing legacy
+// evaluators are carried over for members that remain, so a bucket
+// whose membership never changes behaves exactly like a fixed operator.
+// Called at construction and, by the Mux, at frame boundaries when the
+// registered suite changed.
+func (c *streamChecker) installMembers(members []*memberSpec) {
+	oldMembers, oldEvals := c.members, c.evals
+	c.members = members
+	c.evals = make([]*core.Evaluator, len(members))
+	for i, m := range members {
+		for j, om := range oldMembers {
+			if om == m {
+				c.evals[i] = oldEvals[j]
+				break
+			}
+		}
+	}
+	var plans []*core.CheckPlan
+	for _, m := range members {
+		if !m.naive {
+			plans = append(plans, m.plan)
+		}
+	}
+	wasExt := c.useExt
+	c.useExt = len(plans) > 0
+	c.soundCount = len(plans)
+	c.shared = len(plans) >= 2
+	c.planGroup, c.resBuf = nil, nil
+	if c.shared {
+		g, err := core.NewPlanGroup(plans)
+		if err != nil {
+			// validateBucket ran at registration; a failure here is a bug.
+			panic(fmt.Errorf("checker: plan group for validated bucket: %w", err))
+		}
+		c.planGroup = g
+		c.resBuf = make([]core.Result, len(plans))
+	}
+	if wasExt != c.useExt && len(c.groups) > 0 {
+		c.resyncExtractions()
+	}
+}
+
+// resyncExtractions reconciles live group state with a changed useExt
+// mode (a membership change added the first SOUND member or removed the
+// last one). Count windows keep their extraction in per-point lockstep
+// with the buffer, so a fresh extraction must be rebuilt immediately;
+// time windows rebuild lazily at the next fire (ExtendFrom on an empty
+// extraction extracts the full buffer); other kinds never use one.
+func (c *streamChecker) resyncExtractions() {
+	for _, g := range c.groups {
+		if !c.useExt {
+			g.ext = nil
+			continue
+		}
+		if c.asg.Kind == core.KindCount && g.bufs != nil {
+			g.ext = make([]resample.Extraction, c.arity)
+			for i := range g.bufs {
+				g.ext[i].Extract(g.bufs[i])
+			}
+		} else {
+			g.ext = nil
+		}
+	}
+}

@@ -2,6 +2,7 @@ package checker
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 
@@ -169,69 +170,65 @@ type StreamCheck struct {
 // (unary), and global windows. It errors on checks that cannot run
 // online (custom batch-only windowers, missing routes).
 func NewStreamChecker(cfg StreamCheck) (func() stream.Processor, error) {
-	plan, err := core.CompilePlan(cfg.Check, cfg.Params, cfg.Seed)
+	m, err := newMemberSpec(cfg.Check, cfg.Params, cfg.Seed, cfg.Naive, cfg.Out, cfg.OnOutcome)
 	if err != nil {
 		return nil, err
 	}
-	asg := plan.Assigner()
-	arity := plan.Arity()
-	switch asg.Kind {
-	case core.KindCustom:
-		return nil, fmt.Errorf("checker: check %q uses windower %v, which has no stream assigner", cfg.Check.Name, cfg.Check.Window)
-	case core.KindSession:
-		if arity != 1 {
-			return nil, fmt.Errorf("checker: check %q: session windows stream only for unary checks", cfg.Check.Name)
-		}
+	route, err := resolveRoute(cfg.Route, &cfg.Check, m.plan.Arity())
+	if err != nil {
+		return nil, err
 	}
-	route := cfg.Route
-	if route == nil {
-		if arity != 1 {
-			return nil, fmt.Errorf("checker: check %q has arity %d and needs an explicit Route", cfg.Check.Name, arity)
-		}
-		route = ByEventKey()
-	}
-	// workerSeq hands evaluator seed slots to workers in the order they
-	// first *evaluate*, not the order their Processor instances are
-	// created: a worker whose keyed partition never receives an event
-	// never claims a slot. Runs whose events all land on one worker (a
-	// single route group, say) are therefore bit-identical for every
-	// worker count and batch size — the idle workers that a higher
-	// parallelism adds cannot shift the active worker's seed.
-	var workerSeq atomic.Uint64
-	seq := &workerSeq
 	if cfg.Registry != nil {
 		// A checkpointable operator keeps its seed-slot counter in the
 		// registry, so a restored run resumes the claim sequence instead
-		// of restarting it.
-		seq = &cfg.Registry.seq
+		// of restarting it. (See the memberSpec.seq comment for why the
+		// counter is claim-ordered.)
+		m.seq = &cfg.Registry.seq
 		cfg.Registry.bind(cfg.Out)
 	}
+	members := []*memberSpec{m}
 	return func() stream.Processor {
-		c := &streamChecker{
-			plan:      plan,
-			seq:       seq,
-			check:     plan.Check(),
-			asg:       asg,
-			arity:     arity,
-			naive:     cfg.Naive,
-			forward:   cfg.Forward,
-			out:       cfg.Out,
-			route:     route,
-			groups:    map[string]*groupState{},
-			evict:     cfg.Evict,
-			reg:       cfg.Registry,
-			onOutcome: cfg.OnOutcome,
-			worker:    -1,
-		}
-		// The lifecycle predicates are constant for the operator's
-		// lifetime; caching them keeps the per-event ingest path free of
-		// repeated policy re-derivation.
-		c.stateful = c.statefulGroups()
-		c.evictOn = c.evict.enabled()
-		c.track = c.trackGroups()
-		c.acct = c.trackBytes()
-		return c
+		return newOperator(members, route, cfg.Forward, cfg.Evict, cfg.Registry, nil)
 	}, nil
+}
+
+// resolveRoute applies the route-defaulting rules shared by the single-
+// and multi-check constructors.
+func resolveRoute(route RouteFunc, ck *core.Check, arity int) (RouteFunc, error) {
+	if route != nil {
+		return route, nil
+	}
+	if arity != 1 {
+		return nil, fmt.Errorf("checker: check %q has arity %d and needs an explicit Route", ck.Name, arity)
+	}
+	return ByEventKey(), nil
+}
+
+// newOperator assembles one worker instance of the generic operator for
+// the given member set. All members share the operator's window state;
+// installMembers decides between the legacy per-member evaluators and
+// the multiplexed PlanGroup path.
+func newOperator(members []*memberSpec, route RouteFunc, forward bool, evict EvictionPolicy, reg *StreamRegistry, gm *GroupMetrics) *streamChecker {
+	c := &streamChecker{
+		asg:     members[0].plan.Assigner(),
+		arity:   members[0].plan.Arity(),
+		forward: forward,
+		route:   route,
+		groups:  map[string]*groupState{},
+		evict:   evict,
+		reg:     reg,
+		metrics: gm,
+		worker:  -1,
+	}
+	c.installMembers(members)
+	// The lifecycle predicates are constant for the operator's
+	// lifetime; caching them keeps the per-event ingest path free of
+	// repeated policy re-derivation.
+	c.stateful = c.statefulGroups()
+	c.evictOn = c.evict.enabled()
+	c.track = c.trackGroups()
+	c.acct = c.trackBytes()
+	return c
 }
 
 // MustStreamChecker is NewStreamChecker that panics on compile errors,
@@ -278,19 +275,32 @@ func NewBinarySideChecker(ck core.Check, keyA, keyB string, params core.Params, 
 
 // streamChecker is one worker's instance of the generic operator. Keyed
 // partitioning guarantees a group's events reach one worker, so the
-// per-group state needs no locking.
+// per-group state needs no locking. One operator hosts one or more
+// member checks over ONE set of window buffers and extractions: with a
+// single SOUND member it runs the legacy per-check evaluator verbatim
+// (bit-identical to every pre-multiplexing release), with two or more
+// it evaluates windows through a shared core.PlanGroup whose draws are
+// derived from the window coordinate (see evaluateShared).
 type streamChecker struct {
-	plan    *core.CheckPlan
-	seq     *atomic.Uint64
-	check   core.Check
-	asg     core.WindowAssigner
-	arity   int
-	eval    *core.Evaluator // created lazily on the worker's first evaluation
-	naive   bool
-	forward bool
-	out     *StreamOutcomes
-	route   RouteFunc
-	groups  map[string]*groupState
+	members []*memberSpec
+	// evals are the legacy-path per-member evaluators, parallel to
+	// members, created lazily on the worker's first evaluation.
+	evals []*core.Evaluator
+	// useExt mirrors the old !naive: maintain SoA extractions iff some
+	// member runs SOUND evaluation.
+	useExt bool
+	// shared selects the PlanGroup path (≥ 2 SOUND members).
+	shared bool
+	planGroup *core.PlanGroup
+	resBuf    []core.Result
+	// soundCount is the number of non-naive members (resBuf length).
+	soundCount int
+	metrics    *GroupMetrics
+	asg        core.WindowAssigner
+	arity      int
+	forward    bool
+	route      RouteFunc
+	groups     map[string]*groupState
 	// State lifecycle (DESIGN.md §4i): worker is the engine-assigned
 	// slot (-1 outside a checkpointable graph), evict the memory policy,
 	// reg the checkpoint registry, onOutcome the outcome observer.
@@ -512,7 +522,10 @@ func (c *streamChecker) processPoint(key string, input int, p series.Point) {
 		}
 		c.pointBuf[0] = p
 		c.winBuf[0] = c.pointBuf
-		c.evaluate(key, core.WindowTuple{Windows: c.winBuf[:], Start: p.T, End: p.T})
+		// The point's own timestamp is the window coordinate: unary point
+		// checks keep no per-key state, and a duplicate timestamp simply
+		// reuses its draw stream (identical evidence → identical verdict).
+		c.evaluate(key, core.WindowTuple{Windows: c.winBuf[:], Start: p.T, End: p.T}, math.Float64bits(p.T))
 		return
 	}
 	g := c.group(key)
@@ -536,7 +549,7 @@ func (c *streamChecker) processPoint(key string, input int, p series.Point) {
 			ws[i] = g.pend[i][:1:1]
 			g.pend[i] = g.pend[i][1:]
 		}
-		c.evaluate(key, core.WindowTuple{Windows: ws, Start: ws[0][0].T, End: ws[0][0].T})
+		c.evaluate(key, core.WindowTuple{Windows: ws, Start: ws[0][0].T, End: ws[0][0].T}, math.Float64bits(ws[0][0].T))
 	}
 }
 
@@ -596,7 +609,7 @@ func (c *streamChecker) fireDueTimeWindows(g *groupState, final bool) {
 	if !g.hasOrigin || c.asg.Size <= 0 || c.asg.Slide <= 0 {
 		return
 	}
-	useExt := !c.naive
+	useExt := c.useExt
 	if useExt && g.ext == nil {
 		g.ext = make([]resample.Extraction, c.arity)
 	}
@@ -637,7 +650,7 @@ func (c *streamChecker) fireDueTimeWindows(g *groupState, final bool) {
 				ext[i] = g.ext[i].Slice(lo, lo+len(ws[i]))
 			}
 		}
-		c.evaluate(g.key, core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end})
+		c.evaluate(g.key, core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end}, math.Float64bits(start))
 		g.fired = true
 		g.nextStart += c.asg.Slide
 		for i := range g.raw {
@@ -680,7 +693,7 @@ func (c *streamChecker) processCount(key string, input int, p series.Point) {
 		return
 	}
 	bufs[input] = append(bufs[input], p)
-	useExt := !c.naive
+	useExt := c.useExt
 	if useExt {
 		// Count windows never reorder (arrival order is the index), so the
 		// shared extraction extends one point at a time, in lockstep with
@@ -709,7 +722,9 @@ func (c *streamChecker) processCount(key string, input int, p series.Point) {
 			}
 		}
 		start, end := ws[0][0].T, ws[0][len(ws[0])-1].T
-		c.evaluate(g.key, core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end})
+		// The absolute start index is the count window's coordinate: it is
+		// arrival-order-defined, identical on every worker layout.
+		c.evaluate(g.key, core.WindowTuple{Windows: ws, Ext: ext, Start: start, End: end}, uint64(g.nextIdx))
 		g.nextIdx += c.asg.CountSlide
 		for i := range bufs {
 			n := g.nextIdx - g.drop[i]
@@ -751,7 +766,7 @@ func (c *streamChecker) fireSession(g *groupState) {
 	if len(g.bufs[0]) > 0 {
 		sortByTime(g.bufs[0])
 		c.winBuf[0] = g.bufs[0]
-		c.evaluate(g.key, core.WindowTuple{Windows: c.winBuf[:], Start: g.sessStart, End: g.sessPrev})
+		c.evaluate(g.key, core.WindowTuple{Windows: c.winBuf[:], Start: g.sessStart, End: g.sessPrev}, math.Float64bits(g.sessStart))
 		g.bufs[0] = g.bufs[0][:0]
 	}
 	g.sessOpen = false
@@ -785,7 +800,7 @@ func (c *streamChecker) Flush(stream.EmitFunc) {
 			}
 			if nonEmpty {
 				start, end := span(g.bufs)
-				c.evaluate(g.key, core.WindowTuple{Windows: g.bufs, Start: start, End: end})
+				c.evaluate(g.key, core.WindowTuple{Windows: g.bufs, Start: start, End: end}, 0)
 			}
 		case core.KindSession:
 			if g.sessOpen {
@@ -795,23 +810,61 @@ func (c *streamChecker) Flush(stream.EmitFunc) {
 	}
 }
 
-func (c *streamChecker) evaluate(key string, tuple core.WindowTuple) {
+// evaluate runs every member check on one fired window. windowBits is
+// the window's stable coordinate within its route group (grid-start
+// bits for time and session windows, the absolute start index for
+// count windows, the point's timestamp bits for point tuples, 0 for
+// the global window); the shared path folds it into the draw-stream
+// seed so verdicts depend only on WHAT is evaluated, never on which
+// worker evaluates it or how many co-members ride along.
+func (c *streamChecker) evaluate(key string, tuple core.WindowTuple, windowBits uint64) {
+	if c.shared {
+		c.evaluateShared(key, tuple, windowBits)
+		return
+	}
+	for i, m := range c.members {
+		c.evaluateMember(i, m, key, tuple)
+	}
+}
+
+// evaluateMember is the legacy per-check path, byte-for-byte the
+// pre-multiplexing evaluation: lazy seed-slot claim, stateful
+// evaluator, per-window RNG continuation.
+func (c *streamChecker) evaluateMember(i int, m *memberSpec, key string, tuple core.WindowTuple) {
 	var o core.Outcome
-	if c.naive {
-		o = core.EvaluateNaive(c.check.Constraint, tuple)
+	if m.naive {
+		o = core.EvaluateNaive(m.check.Constraint, tuple)
 	} else {
-		if c.eval == nil {
+		if c.evals[i] == nil {
 			// First evaluation claims this worker's seed slot (see the
-			// workerSeq comment in NewStreamChecker).
-			c.eval = c.plan.NewEvaluator(c.seq.Add(1) * 0x9e3779b9)
+			// memberSpec.seq comment).
+			c.evals[i] = m.plan.NewEvaluator(m.seq.Add(1) * 0x9e3779b9)
 		}
-		o = c.eval.Evaluate(c.check.Constraint, tuple).Outcome
+		o = c.evals[i].Evaluate(m.check.Constraint, tuple).Outcome
 	}
-	if c.out != nil {
-		c.out.Add(o)
+	m.deliver(key, o)
+}
+
+// evaluateShared evaluates all members on one shared extraction and one
+// shared sample matrix per block (core.PlanGroup). The window seed is a
+// pure function of (group class, route key, window coordinate), so the
+// verdict map is invariant to registration order, member count, worker
+// count, batch size, and fusion — the multiplexing contract pinned by
+// the invariance property tests.
+func (c *streamChecker) evaluateShared(key string, tuple core.WindowTuple, windowBits uint64) {
+	winSeed := c.planGroup.WindowSeed(stream.KeyHash(key), windowBits)
+	ev := c.planGroup.Evaluate(winSeed, tuple, c.resBuf)
+	si := 0
+	for _, m := range c.members {
+		if m.naive {
+			m.deliver(key, core.EvaluateNaive(m.check.Constraint, tuple))
+			continue
+		}
+		m.deliver(key, c.resBuf[si].Outcome)
+		si++
 	}
-	if c.onOutcome != nil {
-		c.onOutcome(key, o)
+	if c.metrics != nil {
+		c.metrics.record(ev, c.soundCount)
 	}
 }
 

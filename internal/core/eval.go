@@ -116,10 +116,10 @@ type Evaluator struct {
 	rsStale [3]bool
 	// bounds is the shared precomputed decision table for params.
 	bounds *decisionBounds
-	// ciCache memoizes credible intervals by observation counts: the
+	// memo memoizes credible intervals by observation counts: the
 	// posterior depends only on (satisfied, violated), and point checks
 	// revisit the same counts for every window.
-	ciCache map[uint64][2]float64
+	memo ciMemo
 	// extc holds the shared per-series extractions EvaluateAll attaches
 	// to its window tuples, reused across calls.
 	extc extCache
@@ -299,27 +299,33 @@ func (e *Evaluator) evaluateInto(res *Result, c *Constraint, w WindowTuple) {
 // the window tuple — passing it by value puts two struct copies on the
 // point-check hot path.
 func (e *Evaluator) finish(res *Result, countSatisfied int) {
-	b := e.bounds
+	finishResult(e.params, e.bounds, &e.memo, res, countSatisfied)
+}
+
+// finishResult is the shared posterior-filling epilogue of Alg. 1, used
+// by both the per-check Evaluator and the multiplexed PlanGroup so the
+// two paths cannot diverge on how a terminated trajectory is summarized.
+func finishResult(p Params, b *decisionBounds, memo *ciMemo, res *Result, countSatisfied int) {
 	s, n := countSatisfied, res.Samples
 	switch {
 	case res.Outcome == Satisfied && s == b.acceptAt[n]:
 		res.Lower, res.Upper = b.acceptCI[n][0], b.acceptCI[n][1]
 	case res.Outcome == Violated && s == b.rejectAt[n]:
 		res.Lower, res.Upper = b.rejectCI[n][0], b.rejectCI[n][1]
-	case res.Outcome == Inconclusive && n == e.params.MaxSamples && n >= e.params.MinSamples:
+	case res.Outcome == Inconclusive && n == p.MaxSamples && n >= p.MinSamples:
 		res.Lower, res.Upper = b.exhaustCI[s][0], b.exhaustCI[s][1]
-	case n >= e.params.MinSamples:
+	case n >= p.MinSamples:
 		// Boundary overshoot (CheckInterval > 1 or a burn-in): compute
 		// the interval the last check saw directly, memoized by counts.
-		post := stat.Beta{Alpha: e.params.PriorAlpha + float64(s), Beta: e.params.PriorBeta + float64(n-s)}
-		res.Lower, res.Upper = e.credibleInterval(s, n-s, post)
+		post := stat.Beta{Alpha: p.PriorAlpha + float64(s), Beta: p.PriorBeta + float64(n-s)}
+		res.Lower, res.Upper = memo.interval(p.Credibility, s, n-s, post)
 	default:
 		// No check ever ran (MinSamples > MaxSamples, rejected by
 		// normalized() but kept consistent for internal callers): the
 		// interval stays at its zero value, matching the direct rule.
 	}
 	res.SatisfiedCount = s
-	res.ViolationProb = 1 - (e.params.PriorAlpha+float64(s))/(e.params.PriorAlpha+e.params.PriorBeta+float64(n))
+	res.ViolationProb = 1 - (p.PriorAlpha+float64(s))/(p.PriorAlpha+p.PriorBeta+float64(n))
 }
 
 // EvaluateAll applies the windowing function and evaluates the constraint
@@ -337,20 +343,27 @@ func (e *Evaluator) EvaluateAll(c Constraint, win Windower, ss []series.Series) 
 	return out
 }
 
-// credibleInterval returns the cached equal-tailed credible interval for
-// the posterior after the given observation counts.
-func (e *Evaluator) credibleInterval(satisfied, violated int, post stat.Beta) (lower, upper float64) {
+// ciMemo caches equal-tailed credible intervals by observation counts;
+// the posterior depends only on (satisfied, violated) for fixed params,
+// so owners scope one memo per parameter set.
+type ciMemo struct {
+	m map[uint64][2]float64
+}
+
+// interval returns the cached equal-tailed credible interval for the
+// posterior after the given observation counts.
+func (c *ciMemo) interval(cred float64, satisfied, violated int, post stat.Beta) (lower, upper float64) {
 	const cacheLimit = 1 << 16
 	key := uint64(satisfied)<<32 | uint64(violated)
-	if ci, ok := e.ciCache[key]; ok {
+	if ci, ok := c.m[key]; ok {
 		return ci[0], ci[1]
 	}
-	lower, upper = post.CredibleInterval(e.params.Credibility)
-	if e.ciCache == nil {
-		e.ciCache = make(map[uint64][2]float64, 256)
+	lower, upper = post.CredibleInterval(cred)
+	if c.m == nil {
+		c.m = make(map[uint64][2]float64, 256)
 	}
-	if len(e.ciCache) < cacheLimit {
-		e.ciCache[key] = [2]float64{lower, upper}
+	if len(c.m) < cacheLimit {
+		c.m[key] = [2]float64{lower, upper}
 	}
 	return lower, upper
 }

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sound/internal/resample"
+	"sound/internal/rng"
+)
+
+// This file implements the multiplexed multi-check evaluator: a
+// PlanGroup buckets compiled CheckPlans that agree on (window spec,
+// params class, arity, base seed) and evaluates every member on ONE
+// shared extraction and ONE drawn sample matrix per block, instead of
+// K independent Alg. 1 runs each paying its own extraction and its own
+// Monte-Carlo draws. The draw stream is derived from the window
+// coordinate alone (see WindowSeed), never from evaluator identity or
+// arrival order, so shared-mode verdicts are invariant to check
+// registration order, check count, worker count, batch size, and
+// operator fusion. Each member scores its own satisfied-bitmask over
+// the shared matrix and retires from the loop the moment Alg. 1
+// decides it; early-deciding checks never pay for late ones.
+
+// GroupClass is the bucketing key for window multiplexing: checks
+// whose classes compare equal may share one extraction and one sample
+// matrix per window without changing any verdict, because the drawn
+// realizations depend only on (params, window spec, input arity, base
+// seed) — never on the constraint being scored.
+type GroupClass struct {
+	Params   Params
+	Assigner WindowAssigner
+	Arity    int
+	Seed     uint64
+}
+
+// Class returns the plan's multiplexing bucket key (params normalized
+// by compilation).
+func (pl *CheckPlan) Class() GroupClass {
+	return GroupClass{Params: pl.params, Assigner: pl.assigner, Arity: pl.check.Constraint.Arity, Seed: pl.seed}
+}
+
+// hash folds the class into a 64-bit group key by chaining the pure
+// splitmix64 finalizer over every field. It is a stable function of the
+// class values only — no map iteration, pointer identity, or process
+// state — so the window-derived RNG streams (WindowSeed) reproduce
+// across runs, restarts, and shard layouts.
+func (c GroupClass) hash() uint64 {
+	h := rng.Derive(0x534f554e44, c.Seed) // "SOUND"
+	h = rng.Derive(h, uint64(c.Assigner.Kind))
+	h = rng.Derive(h, math.Float64bits(c.Assigner.Size))
+	h = rng.Derive(h, math.Float64bits(c.Assigner.Slide))
+	h = rng.Derive(h, uint64(c.Assigner.Count))
+	h = rng.Derive(h, uint64(c.Assigner.CountSlide))
+	h = rng.Derive(h, math.Float64bits(c.Assigner.Gap))
+	h = rng.Derive(h, uint64(c.Arity))
+	h = rng.Derive(h, math.Float64bits(c.Params.Credibility))
+	h = rng.Derive(h, uint64(c.Params.MaxSamples))
+	h = rng.Derive(h, math.Float64bits(c.Params.PriorAlpha))
+	h = rng.Derive(h, math.Float64bits(c.Params.PriorBeta))
+	h = rng.Derive(h, uint64(c.Params.CheckInterval))
+	h = rng.Derive(h, uint64(c.Params.MinSamples))
+	h = rng.Derive(h, uint64(c.Params.BlockSize))
+	return h
+}
+
+// groupMember is one plan's compiled scoring surface inside a group.
+type groupMember struct {
+	cons  *Constraint
+	strat resample.Strategy
+}
+
+// groupLane is the shared draw machinery for one resampling strategy.
+// Members whose constraints resample identically (same Strategy) share
+// the lane's extraction and sample matrix; a group mixing point-wise
+// and set semantics gets one lane per strategy, so the draw cost is
+// O(#strategies × draws) per window — still flat in the member count.
+type groupLane struct {
+	strat   resample.Strategy
+	r       *rng.Rand
+	rs      *resample.Resampler
+	blk     resample.Block
+	members []int // member indices into PlanGroup.plans
+}
+
+// GroupEval summarizes one shared window evaluation for the operator
+// metrics: how many physical samples were drawn across the lanes, how
+// many members retired before their lane's last draw (the
+// retire-on-decision win), and how many extractions were primed (one
+// per lane touched — the sharing win is members − primes extractions
+// avoided).
+type GroupEval struct {
+	Draws   int
+	Retired int
+	Primes  int
+}
+
+// PlanGroup evaluates a bucket of same-class plans with shared draws.
+// It is stateful scratch plus per-window-reseeded RNG lanes, not safe
+// for concurrent use; create one per goroutine (cheap) like Evaluator.
+// Membership is fixed at construction — dynamic suites rebuild the
+// group, which is free because all randomness is window-derived and no
+// state survives between windows.
+type PlanGroup struct {
+	class  GroupClass
+	hash   uint64
+	params Params
+	bounds *decisionBounds
+	plans  []*CheckPlan
+	member []groupMember
+	lanes  []*groupLane
+	memo   ciMemo
+	// scratch reused across windows
+	live []int
+	vals [][]float64
+}
+
+// NewPlanGroup compiles a group from plans that must all share one
+// GroupClass (the caller buckets by CheckPlan.Class()).
+func NewPlanGroup(plans []*CheckPlan) (*PlanGroup, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("core: empty plan group")
+	}
+	cls := plans[0].Class()
+	g := &PlanGroup{
+		class:  cls,
+		hash:   cls.hash(),
+		params: plans[0].params,
+		bounds: plans[0].bounds,
+		plans:  plans,
+		member: make([]groupMember, len(plans)),
+	}
+	byStrat := map[resample.Strategy]*groupLane{}
+	for i, pl := range plans {
+		if pl.Class() != cls {
+			return nil, fmt.Errorf("core: plan %q class differs from group class", pl.check.Name)
+		}
+		strat := pl.check.Constraint.Strategy()
+		g.member[i] = groupMember{cons: &pl.check.Constraint, strat: strat}
+		lane := byStrat[strat]
+		if lane == nil {
+			r := rng.New(0)
+			rs := resample.New(strat, r.Split())
+			if strat == resample.Sequence && g.params.BlockSize > 0 {
+				rs.SetBlockSize(g.params.BlockSize)
+			}
+			lane = &groupLane{strat: strat, r: r, rs: rs}
+			byStrat[strat] = lane
+			g.lanes = append(g.lanes, lane)
+		}
+		lane.members = append(lane.members, i)
+	}
+	return g, nil
+}
+
+// Class returns the group's bucket key.
+func (g *PlanGroup) Class() GroupClass { return g.class }
+
+// Members returns the number of plans in the group.
+func (g *PlanGroup) Members() int { return len(g.plans) }
+
+// Plans returns the member plans in group order.
+func (g *PlanGroup) Plans() []*CheckPlan { return g.plans }
+
+// WindowSeed derives the shared draw stream for one (group, key,
+// window) coordinate: chained splitmix64 finalization of the group key,
+// the partition-key hash, and the window's own coordinate bits. Every
+// input is a pure function of what is being evaluated — nothing about
+// who evaluates it — which is the whole invariance argument: any
+// worker, any shard, any registration order computes the same seed and
+// therefore draws the same sample matrix.
+func (g *PlanGroup) WindowSeed(keyHash, windowBits uint64) uint64 {
+	return rng.Derive(rng.Derive(g.hash, keyHash), windowBits)
+}
+
+// laneStream gives each strategy lane a distinct derived stream under
+// one window seed (offset so stream 0 is never consumed twice).
+func laneStream(s resample.Strategy) uint64 { return uint64(s) + 1 }
+
+// Evaluate runs Alg. 1 for every member on the window tuple with
+// shared draws, writing member i's result to out[i] (len(out) must be
+// Members()). The trajectory each member sees is exactly the scalar
+// Alg. 1 trajectory over the lane's shared sample stream: per drawn
+// sample its own satisfied bit, its own Beta posterior, its own
+// decision schedule — members differ only in which verdict their bits
+// imply, never in which samples exist.
+func (g *PlanGroup) Evaluate(winSeed uint64, w WindowTuple, out []Result) GroupEval {
+	var ev GroupEval
+	for i := range out {
+		out[i] = Result{}
+		out[i].Window.Windows = w.Windows
+		out[i].Window.Start = w.Start
+		out[i].Window.End = w.End
+		out[i].Window.Index = w.Index
+	}
+	if empty(w.Windows) {
+		for i := range out {
+			out[i].ViolationProb = 0.5
+			out[i].Lower, out[i].Upper = g.bounds.priorLower, g.bounds.priorUpper
+		}
+		return ev
+	}
+	for _, lane := range g.lanes {
+		g.evaluateLane(lane, winSeed, w, out, &ev)
+	}
+	return ev
+}
+
+// evaluateLane primes the lane's resampler from the window-derived
+// stream and walks the shared block loop for the lane's members.
+func (g *PlanGroup) evaluateLane(lane *groupLane, winSeed uint64, w WindowTuple, out []Result, ev *GroupEval) {
+	lane.r.Reseed(rng.Derive(winSeed, laneStream(lane.strat)))
+	rs := lane.rs
+	rs.Reseed(lane.r)
+	if w.Ext != nil {
+		rs.PrimeViews(w.Windows, w.Ext)
+	} else {
+		rs.Prime(w.Windows)
+	}
+	ev.Primes++
+	p := g.params
+	accept, reject := g.bounds.acceptAt, g.bounds.rejectAt
+	maxS, minS, ci := p.MaxSamples, p.MinSamples, p.CheckInterval
+	if lane.strat == resample.Point && rs.PrimedAllCertain() {
+		// Point resampling of all-certain windows returns the raw values
+		// on every draw and consumes no randomness: each member's verdict
+		// is constant across samples, so evaluate each once and replay
+		// its decision schedule on the boundary table — the same O(1)
+		// fast path the per-check evaluator takes, shared here across the
+		// single raw draw.
+		vals := rs.Draw(w.Windows)
+		ev.Draws++
+		for _, mi := range lane.members {
+			res := &out[mi]
+			sat := g.member[mi].cons.Eval(vals)
+			cs, samples := 0, 0
+			for i := 1; i <= maxS; i++ {
+				if sat {
+					cs = i
+				}
+				samples = i
+				if i < minS {
+					continue
+				}
+				if ci != 1 && i%ci != 0 && i != maxS {
+					continue
+				}
+				if cs >= accept[i] {
+					res.Outcome = Satisfied
+					break
+				}
+				if cs <= reject[i] {
+					res.Outcome = Violated
+					break
+				}
+			}
+			res.Samples = samples
+			finishResult(p, g.bounds, &g.memo, res, cs)
+		}
+		return
+	}
+
+	// Shared block loop. live holds the lane's undecided member indices;
+	// cs trajectories ride in out[mi].SatisfiedCount until finish. The
+	// per-sample decision replay below runs the exact scalar schedule of
+	// Alg. 1 for every member, so drawing to the max edge over members
+	// (nextDecision) cannot move any member's stopping index: the edge
+	// only bounds how far the shared stream is materialized.
+	kernelOK := kernelReady(rs, len(w.Windows))
+	total := 0
+	for _, win := range w.Windows {
+		total += len(win)
+	}
+	chunk := maxS
+	if total > 0 && kernelBlockValues/total < maxS {
+		chunk = kernelBlockValues / total
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	if cap(g.live) < len(lane.members) {
+		g.live = make([]int, 0, len(lane.members))
+	}
+	live := g.live[:0]
+	live = append(live, lane.members...)
+	nw := len(w.Windows)
+	if cap(g.vals) < nw {
+		g.vals = make([][]float64, nw)
+	}
+	vals := g.vals[:nw]
+	laneDraws := 0
+	i := 0
+	for i < maxS && len(live) > 0 {
+		// Block edge: the furthest any undecided member could need before
+		// its next possible decision. Members whose trajectory can never
+		// conclude (nextDecision 0) pin the edge at the sample budget.
+		edge := 0
+		for _, mi := range live {
+			j := g.bounds.nextDecision(out[mi].SatisfiedCount, i, minS, ci, maxS)
+			if j == 0 {
+				j = maxS
+			}
+			if j > edge {
+				edge = j
+			}
+		}
+		for i < edge && len(live) > 0 {
+			k := edge - i
+			if k > chunk {
+				k = chunk
+			}
+			rs.DrawBlock(w.Windows, k, &lane.blk)
+			laneDraws += k
+			// Score each undecided member over the shared matrix and
+			// replay its decision schedule sample by sample; compact the
+			// live set in place as members retire.
+			kept := live[:0]
+			for _, mi := range live {
+				m := &g.member[mi]
+				res := &out[mi]
+				cs := res.SatisfiedCount
+				decidedAt := 0
+				useKernel := kernelOK && m.cons.Spec.Op != KernelNone
+				for s := 0; s < k; s++ {
+					for wi := 0; wi < nw; wi++ {
+						vals[wi] = lane.blk.Row(wi, s)
+					}
+					var sat bool
+					if useKernel {
+						sat = kernelSat(&m.cons.Spec, vals)
+					} else {
+						sat = m.cons.Eval(vals)
+					}
+					if sat {
+						cs++
+					}
+					idx := i + s + 1
+					if idx < minS {
+						continue
+					}
+					if ci != 1 && idx%ci != 0 && idx != maxS {
+						continue
+					}
+					if cs >= accept[idx] {
+						res.Outcome = Satisfied
+						decidedAt = idx
+						break
+					}
+					if cs <= reject[idx] {
+						res.Outcome = Violated
+						decidedAt = idx
+						break
+					}
+				}
+				res.SatisfiedCount = cs
+				if decidedAt != 0 {
+					res.Samples = decidedAt
+					finishResult(p, g.bounds, &g.memo, res, cs)
+				} else {
+					kept = append(kept, mi)
+				}
+			}
+			live = kept
+			i += k
+		}
+	}
+	// Members still undecided exhausted the budget: Inconclusive at maxS,
+	// exactly as the scalar loop reports when no boundary was hit.
+	for _, mi := range live {
+		res := &out[mi]
+		res.Samples = i
+		finishResult(p, g.bounds, &g.memo, res, res.SatisfiedCount)
+	}
+	ev.Draws += laneDraws
+	for _, mi := range lane.members {
+		if out[mi].Outcome != Inconclusive && out[mi].Samples < laneDraws {
+			ev.Retired++
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"sound/internal/resample"
+	"sound/internal/rng"
+	"sound/internal/series"
+)
+
+func groupTestSeries(n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = series.Point{T: float64(i), V: 5 + float64(i%7), SigUp: 2, SigDown: 2}
+	}
+	return s
+}
+
+func groupTestPlans(t *testing.T, seed uint64) []*CheckPlan {
+	t.Helper()
+	win := CountWindow{Size: 8}
+	cons := []Constraint{Range(0, 13), GreaterThan(1), MaxDelta(9), FractionInRange(3, 12, 0.5)}
+	plans := make([]*CheckPlan, len(cons))
+	for i, c := range cons {
+		pl, err := CompilePlan(Check{
+			Name:        c.Name,
+			Constraint:  c,
+			SeriesNames: []string{"s"},
+			Window:      win,
+		}, DefaultParams(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i] = pl
+	}
+	return plans
+}
+
+func sameResult(a, b Result) bool {
+	return a.Outcome == b.Outcome && a.Samples == b.Samples &&
+		a.SatisfiedCount == b.SatisfiedCount && a.ViolationProb == b.ViolationProb &&
+		a.Lower == b.Lower && a.Upper == b.Upper
+}
+
+// A member's verdict in a shared group must equal its verdict in a
+// group of one at the same window seed: the shared stream is a pure
+// function of (class, key, window), and a member's trajectory reads
+// only the prefix of it that its own decision schedule consumes.
+func TestPlanGroupMemberInvariance(t *testing.T) {
+	plans := groupTestPlans(t, 42)
+	g, err := NewPlanGroup(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := []series.Series{groupTestSeries(64)}
+	tuples := plans[0].Check().Window.Windows(ss)
+	if len(tuples) == 0 {
+		t.Fatal("no windows")
+	}
+	shared := make([]Result, len(plans))
+	solo := make([]Result, 1)
+	for wi, tu := range tuples {
+		winSeed := g.WindowSeed(0xfeed, uint64(wi))
+		g.Evaluate(winSeed, tu, shared)
+		for i, pl := range plans {
+			g1, err := NewPlanGroup([]*CheckPlan{pl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g1.Evaluate(winSeed, tu, solo)
+			if !sameResult(shared[i], solo[0]) {
+				t.Fatalf("window %d member %d: shared %+v != solo %+v", wi, i, shared[i], solo[0])
+			}
+		}
+	}
+}
+
+// Registration order must not matter: evaluating a permuted group
+// yields the permutation of the original results.
+func TestPlanGroupOrderInvariance(t *testing.T) {
+	plans := groupTestPlans(t, 7)
+	perm := []int{2, 0, 3, 1}
+	permuted := make([]*CheckPlan, len(plans))
+	for i, j := range perm {
+		permuted[i] = plans[j]
+	}
+	ga, err := NewPlanGroup(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := NewPlanGroup(permuted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := []series.Series{groupTestSeries(48)}
+	tuples := plans[0].Check().Window.Windows(ss)
+	ra := make([]Result, len(plans))
+	rb := make([]Result, len(plans))
+	for wi, tu := range tuples {
+		winSeed := ga.WindowSeed(0xabc, uint64(wi))
+		if gb.WindowSeed(0xabc, uint64(wi)) != winSeed {
+			t.Fatal("window seed depends on member order")
+		}
+		ga.Evaluate(winSeed, tu, ra)
+		gb.Evaluate(winSeed, tu, rb)
+		for i, j := range perm {
+			if !sameResult(rb[i], ra[j]) {
+				t.Fatalf("window %d: permuted member %d != original member %d", wi, i, j)
+			}
+		}
+	}
+}
+
+// A group of one is the per-check evaluator at the lane-derived seed:
+// the degeneration argument that makes shared mode safe to reuse the
+// scalar pipeline's decision tables and posterior epilogue.
+func TestPlanGroupSingleMatchesEvaluator(t *testing.T) {
+	plans := groupTestPlans(t, 99)
+	ss := []series.Series{groupTestSeries(40)}
+	tuples := plans[0].Check().Window.Windows(ss)
+	out := make([]Result, 1)
+	for _, pl := range plans {
+		g, err := NewPlanGroup([]*CheckPlan{pl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		strat := pl.Check().Constraint.Strategy()
+		for wi, tu := range tuples {
+			winSeed := g.WindowSeed(0x55, uint64(wi))
+			g.Evaluate(winSeed, tu, out)
+			e := MustEvaluator(pl.Params(), rng.Derive(winSeed, laneStream(strat)))
+			want := e.Evaluate(pl.Check().Constraint, tu)
+			if !sameResult(out[0], want) {
+				t.Fatalf("plan %q window %d: group %+v != evaluator %+v", pl.Check().Name, wi, out[0], want)
+			}
+		}
+	}
+}
+
+// Shared draws are flat in member count: a 1-member and a 4-member
+// group over the same window consume sample matrices whose size is
+// governed by the slowest member, never by K independent runs.
+func TestPlanGroupDrawsFlat(t *testing.T) {
+	plans := groupTestPlans(t, 3)
+	g4, _ := NewPlanGroup(plans)
+	ss := []series.Series{groupTestSeries(64)}
+	tuples := plans[0].Check().Window.Windows(ss)
+	out4 := make([]Result, len(plans))
+	out1 := make([]Result, 1)
+	for wi, tu := range tuples {
+		winSeed := g4.WindowSeed(1, uint64(wi))
+		ev4 := g4.Evaluate(winSeed, tu, out4)
+		// Draw cost is per strategy lane, not per member: the shared
+		// budget is bounded by the slowest member of each lane.
+		maxSolo := map[resample.Strategy]int{}
+		for _, pl := range plans {
+			g1, _ := NewPlanGroup([]*CheckPlan{pl})
+			ev1 := g1.Evaluate(winSeed, tu, out1)
+			strat := pl.Check().Constraint.Strategy()
+			if ev1.Draws > maxSolo[strat] {
+				maxSolo[strat] = ev1.Draws
+			}
+		}
+		budget := 0
+		for _, d := range maxSolo {
+			budget += d
+		}
+		if ev4.Draws > budget {
+			t.Fatalf("window %d: shared draws %d exceed per-lane slowest-member budget %d", wi, ev4.Draws, budget)
+		}
+		if ev4.Primes != len(maxSolo) {
+			t.Fatalf("window %d: %d extractions primed, want one per strategy lane (%d)", wi, ev4.Primes, len(maxSolo))
+		}
+	}
+}
+
+// Mixed strategies split into per-strategy lanes but stay in one group
+// when the class matches; class mismatches are rejected.
+func TestPlanGroupClasses(t *testing.T) {
+	plans := groupTestPlans(t, 5)
+	ordered, err := CompilePlan(Check{
+		Name:        "mono",
+		Constraint:  MonotonicIncrease(false),
+		SeriesNames: []string{"s"},
+		Window:      CountWindow{Size: 8},
+	}, DefaultParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewPlanGroup(append(plans[:2:2], ordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.lanes) != 2 {
+		t.Fatalf("lanes = %d, want 2 (point + sequence)", len(g.lanes))
+	}
+	if ordered.Check().Constraint.Strategy() != resample.Sequence {
+		t.Fatalf("expected sequence strategy for monotone")
+	}
+	otherSeed, err := CompilePlan(plans[0].Check(), DefaultParams(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlanGroup([]*CheckPlan{plans[0], otherSeed}); err == nil {
+		t.Fatal("expected class mismatch error for differing seeds")
+	}
+	if _, err := NewPlanGroup(nil); err == nil {
+		t.Fatal("expected error for empty group")
+	}
+}

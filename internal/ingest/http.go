@@ -3,12 +3,15 @@ package ingest
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 
+	"sound/internal/checker"
 	"sound/internal/core"
 	"sound/internal/stream"
 	"sound/internal/wire"
@@ -80,17 +83,93 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // Handler returns the HTTP surface:
 //
-//	POST /ingest    NDJSON event lines → {"ingested": n}
-//	GET  /stats     live counters (JSON Stats)
-//	GET  /outcomes  streaming NDJSON feed of check outcomes
-//	POST /drain     graceful drain; responds with the final Stats
+//	POST   /ingest         NDJSON event lines → {"ingested": n}
+//	GET    /stats          live counters (JSON Stats)
+//	GET    /outcomes       streaming NDJSON feed of check outcomes
+//	POST   /drain          graceful drain; responds with the final Stats
+//	POST   /checks         register a check (body: ParseCheck spec text)
+//	DELETE /checks/{name}  deregister a check by name
+//	GET    /checks         registered names + multiplexing group stats
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /outcomes", s.handleOutcomes)
 	mux.HandleFunc("POST /drain", s.handleDrain)
+	mux.HandleFunc("POST /checks", s.handleAddCheck)
+	mux.HandleFunc("DELETE /checks/{name}", s.handleRemoveCheck)
+	mux.HandleFunc("GET /checks", s.handleListChecks)
 	return mux
+}
+
+// handleAddCheck registers one check at runtime. The body is a single
+// ParseCheck spec line (the same grammar as the -check flag), e.g.
+//
+//	curl -X POST :7071/checks -d 'range;min=0;max=100;window=time:60;name=rng'
+//
+// Registration is admission-controlled by Config.MaxChecks (429 on
+// quota) and rejected once the server drains (503).
+func (s *Server) handleAddCheck(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := strings.TrimSpace(string(body))
+	if spec == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty check spec"))
+		return
+	}
+	params := s.cfg.DefaultParams
+	if params.Credibility == 0 {
+		params = core.DefaultParams()
+	}
+	cc, err := ParseCheck(spec, params, s.cfg.DefaultSeed, checker.EvictionPolicy{})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.AddCheck(cc); err != nil {
+		switch {
+		case errors.Is(err, ErrCheckQuota):
+			httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case strings.Contains(err.Error(), "already registered"):
+			httpError(w, http.StatusConflict, err)
+		default:
+			httpError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"registered": cc.Name, "checks": len(s.CheckNames())})
+}
+
+func (s *Server) handleRemoveCheck(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.RemoveCheck(name); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"removed": name, "checks": len(s.CheckNames())})
+}
+
+func (s *Server) handleListChecks(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"checks": s.CheckNames(),
+		"groups": s.GroupStats(),
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
 // ndjsonPool recycles request decoders: one warm decoder per concurrent
@@ -266,16 +345,19 @@ type ShardStats struct {
 // the shard chains — on the default fused planner an event is counted
 // consumed only after its verdicts fired.
 type Stats struct {
-	Ingested        int64                       `json:"ingested"`
-	Consumed        int64                       `json:"consumed"`
-	Dropped         int64                       `json:"dropped"`
-	DecodeErrors    int64                       `json:"decode_errors"`
-	OutcomesDropped int64                       `json:"outcomes_dropped"`
-	Draining        bool                        `json:"draining"`
-	Shards          []ShardStats                `json:"shards"`
-	Checks          []CheckStats                `json:"checks"`
-	Edges           map[string]stream.EdgeDepth `json:"edges,omitempty"`
-	Err             string                      `json:"err,omitempty"`
+	Ingested        int64        `json:"ingested"`
+	Consumed        int64        `json:"consumed"`
+	Dropped         int64        `json:"dropped"`
+	DecodeErrors    int64        `json:"decode_errors"`
+	OutcomesDropped int64        `json:"outcomes_dropped"`
+	Draining        bool         `json:"draining"`
+	Shards          []ShardStats `json:"shards"`
+	Checks          []CheckStats `json:"checks"`
+	// Groups are the multiplexing buckets: which checks share window
+	// state and draws, and how much sharing bought (DESIGN.md §4l).
+	Groups []checker.GroupStat         `json:"groups,omitempty"`
+	Edges  map[string]stream.EdgeDepth `json:"edges,omitempty"`
+	Err    string                      `json:"err,omitempty"`
 }
 
 // Stats returns a live snapshot; safe to call at any time, including
@@ -308,7 +390,10 @@ func (s *Server) Stats() Stats {
 			st.Edges[name+"#"+fmt.Sprint(i)] = d
 		}
 	}
-	for _, cs := range s.checks {
+	s.checkMu.Lock()
+	checks := append([]*checkState(nil), s.checks...)
+	s.checkMu.Unlock()
+	for _, cs := range checks {
 		c := cs.out.Counts()
 		lc := cs.out.Lifecycle()
 		st.Checks = append(st.Checks, CheckStats{
@@ -321,6 +406,7 @@ func (s *Server) Stats() Stats {
 			RejectedEvents: lc.RejectedEvents,
 		})
 	}
+	st.Groups = s.mux.GroupStats()
 	if len(st.Edges) == 0 {
 		st.Edges = nil
 	}

@@ -395,3 +395,155 @@ func TestParseCheck(t *testing.T) {
 		}
 	}
 }
+
+// sharedTrioSpecs are three constraints over ONE window spec and route
+// — they must land in a single multiplexing bucket and run the
+// shared-draw path.
+var sharedTrioSpecs = []string{
+	"fraction;min=0;max=13;threshold=0.8;window=time:9;name=frac",
+	"range;min=-2;max=14;window=time:9;name=rng",
+	"maxdelta;threshold=9;window=time:9;name=delta",
+}
+
+// TestDynamicChecksHTTP starts an empty server, registers a shared
+// window trio over POST /checks, ingests the pinned fixture, and
+// requires (a) the bucket to report all three members sharing, and
+// (b) the final counters to equal a fresh server given the same checks
+// statically — dynamic registration is pure plumbing, not semantics.
+func TestDynamicChecksHTTP(t *testing.T) {
+	evs := fixtureEvents(t)
+	var body []byte
+	for _, ev := range evs {
+		body = wire.AppendNDJSON(body, ev)
+	}
+
+	run := func(dynamic bool) Stats {
+		cfg := Config{Shards: 4, BatchSize: 8, DefaultSeed: 13}
+		if !dynamic {
+			for _, spec := range sharedTrioSpecs {
+				cc, err := ParseCheck(spec, core.DefaultParams(), 13, checker.EvictionPolicy{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Checks = append(cfg.Checks, cc)
+			}
+		}
+		s, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		if dynamic {
+			for _, spec := range sharedTrioSpecs {
+				resp, err := http.Post(ts.URL+"/checks", "text/plain", strings.NewReader(spec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("POST /checks %q: status %d", spec, resp.StatusCode)
+				}
+			}
+		}
+		resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats()
+	}
+
+	dyn := run(true)
+	static := run(false)
+	if len(dyn.Groups) != 1 || !dyn.Groups[0].Shared || len(dyn.Groups[0].Checks) != 3 {
+		t.Fatalf("groups = %+v, want one shared bucket of 3", dyn.Groups)
+	}
+	if dyn.Groups[0].MemberEvals != 3*dyn.Groups[0].Windows {
+		t.Errorf("member evals %d, want 3×windows (%d)", dyn.Groups[0].MemberEvals, dyn.Groups[0].Windows)
+	}
+	if dyn.Groups[0].SharedExtractionHitRatio <= 0 {
+		t.Errorf("shared extraction hit ratio = %v, want > 0", dyn.Groups[0].SharedExtractionHitRatio)
+	}
+	counts := func(st Stats) map[string][3]int {
+		m := map[string][3]int{}
+		for _, cs := range st.Checks {
+			m[cs.Name] = [3]int{cs.Satisfied, cs.Violated, cs.Inconclusive}
+		}
+		return m
+	}
+	dc, sc := counts(dyn), counts(static)
+	if len(dc) != 3 {
+		t.Fatalf("dynamic run reported %d checks, want 3", len(dc))
+	}
+	for name, want := range sc {
+		if dc[name] != want {
+			t.Errorf("check %s: dynamic %v != static %v", name, dc[name], want)
+		}
+	}
+}
+
+// TestCheckQuotaAndLifecycle drives the admission/removal surface:
+// MaxChecks rejects with 429, duplicates with 409, DELETE removes and
+// frees quota, unknown DELETE is 404.
+func TestCheckQuotaAndLifecycle(t *testing.T) {
+	s, err := NewServer(Config{Shards: 1, MaxChecks: 2, DefaultSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	post := func(spec string) int {
+		resp, err := http.Post(ts.URL+"/checks", "text/plain", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	del := func(name string) int {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/checks/"+name, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(sharedTrioSpecs[0]); code != http.StatusOK {
+		t.Fatalf("first registration: %d", code)
+	}
+	if code := post(sharedTrioSpecs[0]); code != http.StatusConflict {
+		t.Errorf("duplicate registration: %d, want 409", code)
+	}
+	if code := post(sharedTrioSpecs[1]); code != http.StatusOK {
+		t.Fatalf("second registration: %d", code)
+	}
+	if code := post(sharedTrioSpecs[2]); code != http.StatusTooManyRequests {
+		t.Errorf("over-quota registration: %d, want 429", code)
+	}
+	if code := post("not;a;valid;spec"); code != http.StatusBadRequest {
+		t.Errorf("bad spec: %d, want 400", code)
+	}
+	if code := del("frac"); code != http.StatusOK {
+		t.Errorf("delete: %d, want 200", code)
+	}
+	if code := del("frac"); code != http.StatusNotFound {
+		t.Errorf("double delete: %d, want 404", code)
+	}
+	if code := post(sharedTrioSpecs[2]); code != http.StatusOK {
+		t.Errorf("registration after delete freed quota: %d, want 200", code)
+	}
+	if got := s.CheckNames(); len(got) != 2 {
+		t.Errorf("CheckNames = %v, want 2 entries", got)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if code := post(sharedTrioSpecs[0]); code != http.StatusServiceUnavailable {
+		t.Errorf("registration after drain: %d, want 503", code)
+	}
+}

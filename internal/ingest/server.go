@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -20,7 +21,16 @@ type CheckConfig struct {
 	Seed   uint64
 	Naive  bool
 	Route  checker.RouteFunc
-	Evict  checker.EvictionPolicy
+	// RouteSpec names the route for multiplexing: checks with equal
+	// RouteSpec, window spec, and params class share one window buffer,
+	// one extraction, and one sample matrix per window (DESIGN.md §4l).
+	// ParseCheck fills it from the route=... grammar; a nil Route
+	// defaults to "event". A custom Route with an empty RouteSpec is
+	// conservatively private — it never shares a bucket.
+	RouteSpec string
+	// Evict is accepted for backward compatibility; the first check's
+	// policy becomes the graph-wide default when Config.Evict is unset.
+	Evict checker.EvictionPolicy
 }
 
 // Config configures a Server.
@@ -33,10 +43,26 @@ type Config struct {
 	// BatchSize is the transport frame size, both for the shard input
 	// lanes and inside the shard graphs (default 64).
 	BatchSize int
-	// Checks are the registered checks. Every shard runs the full
-	// suite; each check's outcome counters aggregate across shards.
+	// Checks are the initially registered checks. Every shard runs the
+	// full suite; each check's outcome counters aggregate across shards.
+	// May be empty: checks can also register at runtime (POST /checks).
 	Checks []CheckConfig
+	// MaxChecks caps the number of concurrently registered checks — the
+	// admission quota for dynamic registration (0 is unlimited).
+	MaxChecks int
+	// Evict is the graph-wide eviction policy shared by every check
+	// bucket (per-bucket keyed state is charged once per bucket, not per
+	// member). Zero value: fall back to Checks[0].Evict, then unbounded.
+	Evict checker.EvictionPolicy
+	// DefaultParams and DefaultSeed configure dynamically registered
+	// checks whose spec doesn't override them. Zero DefaultParams means
+	// core.DefaultParams().
+	DefaultParams core.Params
+	DefaultSeed   uint64
 }
+
+// ErrCheckQuota rejects registrations beyond Config.MaxChecks.
+var ErrCheckQuota = errors.New("ingest: check quota exceeded")
 
 // shard is one pipeline: an input lane feeding a dedicated graph whose
 // source drains it. The lane is the only producer edge into the graph,
@@ -50,24 +76,30 @@ type shard struct {
 	consumed atomic.Int64 // events fully handed through the chain
 }
 
-// checkState is one registered check's server-side state: a single
-// processor factory shared by all shards (so evaluator seed slots are
-// claimed from one sequence, exactly as a single-process multi-worker
-// run would) and the outcome counters aggregated across shards.
+// checkState is one registered check's server-side state: its config
+// and the outcome counters aggregated across shards. The evaluation
+// itself lives in the shared Mux bucket the check was admitted to.
 type checkState struct {
 	cfg CheckConfig
 	out *checker.StreamOutcomes
 }
 
 // Server fans inbound events out to the shards and owns their
-// lifecycle. Construction starts the shard graphs; Drain stops intake,
-// flushes every shard to end-of-stream (firing final windows), and
-// freezes the counters.
+// lifecycle. Every shard hosts ONE multiplexed operator (checker.Mux)
+// running the whole registered suite: checks sharing a window spec and
+// params class share window state and Monte-Carlo draws instead of
+// re-buffering and re-sampling per check. Construction starts the shard
+// graphs; Drain stops intake, flushes every shard to end-of-stream
+// (firing final windows), and freezes the counters.
 type Server struct {
-	cfg    Config
-	checks []*checkState
+	cfg  Config
+	mux  *checker.Mux
+	pool sync.Pool // *[]stream.Event transport frames
+
+	checkMu sync.Mutex
+	checks  []*checkState
+
 	shards []*shard
-	pool   sync.Pool // *[]stream.Event transport frames
 
 	mu       sync.Mutex
 	draining bool
@@ -98,40 +130,21 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 64
 	}
-	if len(cfg.Checks) == 0 {
-		return nil, fmt.Errorf("ingest: no checks registered")
+	evict := cfg.Evict
+	if !evictEnabled(evict) && len(cfg.Checks) > 0 {
+		evict = cfg.Checks[0].Evict
 	}
 	s := &Server{
 		cfg:     cfg,
+		mux:     checker.NewMux(true, evict),
 		conns:   map[net.Conn]struct{}{},
 		subs:    map[*subscriber]struct{}{},
 		drained: make(chan struct{}),
 	}
-	// One factory per check, shared by every shard: the factory closes
-	// over one evaluator-seed sequence, so seed-slot claiming is
-	// identical to running the same workers inside a single graph.
-	factories := make([]func() stream.Processor, len(cfg.Checks))
-	for i, cc := range cfg.Checks {
-		cc := cc
-		cs := &checkState{cfg: cc, out: &checker.StreamOutcomes{}}
-		factory, err := checker.NewStreamChecker(checker.StreamCheck{
-			Check:   cc.Check,
-			Params:  cc.Params,
-			Seed:    cc.Seed,
-			Naive:   cc.Naive,
-			Forward: true,
-			Out:     cs.out,
-			Route:   cc.Route,
-			Evict:   cc.Evict,
-			OnOutcome: func(key string, o core.Outcome) {
-				s.publish(cc.Name, key, o)
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("ingest: check %q: %w", cc.Name, err)
+	for _, cc := range cfg.Checks {
+		if err := s.AddCheck(cc); err != nil {
+			return nil, err
 		}
-		s.checks = append(s.checks, cs)
-		factories[i] = factory
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -142,7 +155,7 @@ func NewServer(cfg Config) (*Server, error) {
 		if err := g.SetBatchSize(cfg.BatchSize); err != nil {
 			return nil, err
 		}
-		prev := g.AddSource("in", func(emit stream.EmitFunc) {
+		src := g.AddSource("in", func(emit stream.EmitFunc) {
 			for fr := range sh.in {
 				for j := range fr {
 					emit(fr[j])
@@ -154,14 +167,13 @@ func NewServer(cfg Config) (*Server, error) {
 				s.putFrame(fr)
 			}
 		})
-		for j, cs := range s.checks {
-			op := g.AddOperator("check/"+cs.cfg.Name, 1, factories[j])
-			if err := g.Connect(prev, op); err != nil {
-				return nil, err
-			}
-			prev = op
+		// One multiplexed operator hosts the whole (mutable) suite; the
+		// Mux buckets members so co-window checks share state and draws.
+		op := g.AddOperator("checks", 1, s.mux.Factory())
+		if err := g.Connect(src, op); err != nil {
+			return nil, err
 		}
-		if err := g.Connect(prev, g.AddSink("out", nil)); err != nil {
+		if err := g.Connect(op, g.AddSink("out", nil)); err != nil {
 			return nil, err
 		}
 		sh.g = g
@@ -174,6 +186,86 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+func evictEnabled(p checker.EvictionPolicy) bool {
+	return p.TTL > 0 || p.MaxGroups > 0 || p.MaxBytes > 0 || p.OnPressure != nil
+}
+
+// AddCheck admits one check at runtime: quota-checked, compiled, and
+// registered with every shard's multiplexed operator. Workers pick the
+// check up at their next delivery; its counters start at zero. Errors
+// (bad spec, duplicate name, quota) leave the server unchanged.
+func (s *Server) AddCheck(cc CheckConfig) error {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return ErrDraining
+	}
+	s.checkMu.Lock()
+	defer s.checkMu.Unlock()
+	if s.cfg.MaxChecks > 0 && len(s.checks) >= s.cfg.MaxChecks {
+		return fmt.Errorf("%w: %d checks registered (cap %d)", ErrCheckQuota, len(s.checks), s.cfg.MaxChecks)
+	}
+	routeID := cc.RouteSpec
+	if cc.Route == nil {
+		routeID = "event"
+	}
+	name := cc.Name
+	cs := &checkState{cfg: cc, out: &checker.StreamOutcomes{}}
+	err := s.mux.Register(checker.MuxCheck{
+		Name:    cc.Name,
+		Check:   cc.Check,
+		Params:  cc.Params,
+		Seed:    cc.Seed,
+		Naive:   cc.Naive,
+		Route:   cc.Route,
+		RouteID: routeID,
+		Out:     cs.out,
+		OnOutcome: func(key string, o core.Outcome) {
+			s.publish(name, key, o)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("ingest: check %q: %w", cc.Name, err)
+	}
+	s.checks = append(s.checks, cs)
+	return nil
+}
+
+// RemoveCheck deregisters a check by name. Its window state (when not
+// shared with surviving bucket members) is discarded; its counters
+// freeze at their final values. In-flight frames on a shard may deliver
+// a few final verdicts before the worker observes the removal.
+func (s *Server) RemoveCheck(name string) error {
+	s.checkMu.Lock()
+	defer s.checkMu.Unlock()
+	if err := s.mux.Deregister(name); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	for i, cs := range s.checks {
+		if cs.cfg.Name == name {
+			s.checks = append(s.checks[:i:i], s.checks[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// CheckNames returns the registered check names in registration order.
+func (s *Server) CheckNames() []string {
+	s.checkMu.Lock()
+	defer s.checkMu.Unlock()
+	names := make([]string, len(s.checks))
+	for i, cs := range s.checks {
+		names[i] = cs.cfg.Name
+	}
+	return names
+}
+
+// GroupStats reports the multiplexing buckets: member checks, whether
+// they run the shared-draw path, and the sharing counters.
+func (s *Server) GroupStats() []checker.GroupStat { return s.mux.GroupStats() }
 
 func (s *Server) getFrame() []stream.Event {
 	if v := s.pool.Get(); v != nil {

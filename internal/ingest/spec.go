@@ -198,5 +198,9 @@ func ParseCheck(spec string, params core.Params, seed uint64, evict checker.Evic
 	default:
 		return fail(fmt.Errorf("unknown route %q (want event or inputs:<a>,<b>)", route))
 	}
+	// The normalized route string is the sharing token: checks parsed
+	// with the same route (and window/params class) multiplex onto one
+	// operator bucket.
+	cfg.RouteSpec = route
 	return cfg, nil
 }
